@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the bit-stream substrate: variable-width packing,
+//! Algorithm-1-style decoding, and delta coding.
+
+use bro_bitstream::{delta_decode_row, delta_encode_row, BitReader, BitWriter};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn packing(c: &mut Criterion) {
+    let values: Vec<(u64, u32)> =
+        (0..100_000u64).map(|i| (i % 31, 5)).chain((0..10_000).map(|i| (i % 4096, 12))).collect();
+    let total_bits: usize = values.iter().map(|&(_, b)| b as usize).sum();
+
+    let mut g = c.benchmark_group("bitstream");
+    g.throughput(Throughput::Bytes((total_bits / 8) as u64));
+    g.bench_function("write_mixed_widths_u32", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::<u32>::new();
+            for &(v, bits) in &values {
+                w.write(v, bits);
+            }
+            black_box(w.finish())
+        })
+    });
+
+    let mut w = BitWriter::<u32>::new();
+    for &(v, bits) in &values {
+        w.write(v, bits);
+    }
+    let stream = w.finish();
+    g.bench_function("read_mixed_widths_u32", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&stream.words);
+            let mut acc = 0u64;
+            for &(_, bits) in &values {
+                acc = acc.wrapping_add(r.read(bits));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn delta(c: &mut Criterion) {
+    let cols: Vec<u32> = (0..50_000u32).map(|i| i * 8 + (i % 7)).collect();
+    let mut g = c.benchmark_group("delta");
+    g.throughput(Throughput::Elements(cols.len() as u64));
+    g.bench_function("encode_row", |b| {
+        b.iter(|| black_box(delta_encode_row(black_box(&cols), 16).unwrap()))
+    });
+    let enc = delta_encode_row(&cols, 16).unwrap();
+    g.bench_function("decode_row", |b| b.iter(|| black_box(delta_decode_row(black_box(&enc)))));
+    g.finish();
+}
+
+criterion_group!(benches, packing, delta);
+criterion_main!(benches);

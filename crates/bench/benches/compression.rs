@@ -1,0 +1,47 @@
+//! Offline-compression throughput: how fast the host builds BRO-ELL /
+//! BRO-COO / BRO-HYB representations. The paper's pipeline performs this
+//! once per matrix, amortized over thousands of SpMV iterations.
+
+use bro_core::{BroCoo, BroCooConfig, BroEll, BroEllConfig, BroHyb, BroHybConfig};
+use bro_matrix::{suite, CooMatrix, EllMatrix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn suite_matrix(name: &str) -> CooMatrix<f64> {
+    suite::by_name(name).unwrap().spec(0.05).generate()
+}
+
+fn compression(c: &mut Criterion) {
+    let coo = suite_matrix("cant");
+    let ell = EllMatrix::from_coo(&coo);
+    let mut g = c.benchmark_group("compress");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(coo.nnz() as u64));
+    g.bench_function("bro_ell/cant", |b| {
+        b.iter(|| {
+            black_box(BroEll::<f64, u32>::compress(black_box(&ell), &BroEllConfig::default()))
+        })
+    });
+    g.bench_function("bro_coo/cant", |b| {
+        b.iter(|| black_box(BroCoo::<f64, u32>::compress(black_box(&coo), &BroCooConfig::default())))
+    });
+    g.finish();
+
+    let skew = suite_matrix("twotone");
+    let mut g = c.benchmark_group("compress_hyb");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(skew.nnz() as u64));
+    g.bench_function("bro_hyb/twotone", |b| {
+        b.iter(|| black_box(BroHyb::<f64, u32>::from_coo(black_box(&skew), &BroHybConfig::default())))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress");
+    g.sample_size(20);
+    let bro: BroEll<f64> = BroEll::compress(&ell, &BroEllConfig::default());
+    g.throughput(Throughput::Elements(coo.nnz() as u64));
+    g.bench_function("bro_ell/cant", |b| b.iter(|| black_box(bro.decompress())));
+    g.finish();
+}
+
+criterion_group!(benches, compression);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Host-side SpMV benchmarks: the CPU reference paths (serial and rayon),
+//! which bound how fast the functional simulation could ever be and serve
+//! as the library's native CPU execution mode.
+
+use bro_kernels::reference::{csr_par_spmv, csr_spmv};
+use bro_matrix::{suite, CooMatrix, CsrMatrix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn cpu_spmv(c: &mut Criterion) {
+    let a: CooMatrix<f64> = suite::by_name("shipsec1").unwrap().spec(0.05).generate();
+    let csr = CsrMatrix::from_coo(&a);
+    let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+    let mut g = c.benchmark_group("cpu_spmv");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("csr_serial/shipsec1", |b| {
+        b.iter(|| black_box(csr_spmv(black_box(&csr), black_box(&x))))
+    });
+    g.bench_function("csr_rayon/shipsec1", |b| {
+        b.iter(|| black_box(csr_par_spmv(black_box(&csr), black_box(&x))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cpu_spmv);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Simulated-kernel execution benchmarks: one group per figure of the
+//! paper, measuring the wall time of the functional simulation that backs
+//! each experiment (useful for keeping the `repro` harness fast and for
+//! profiling the simulator itself).
+
+use bro_core::{BroCoo, BroCooConfig, BroEll, BroEllConfig, BroHyb, BroHybConfig};
+use bro_gpu_sim::{DeviceProfile, DeviceSim};
+use bro_kernels::{
+    bro_coo_spmv, bro_ell_spmv, bro_hyb_spmv, coo_spmv, ell_spmv, ellr_spmv, hyb_spmv,
+};
+use bro_matrix::{suite, CooMatrix, EllMatrix, EllRMatrix, HybMatrix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn matrix(name: &str) -> CooMatrix<f64> {
+    suite::by_name(name).unwrap().spec(0.03).generate()
+}
+
+fn x_for(a: &CooMatrix<f64>) -> Vec<f64> {
+    (0..a.cols()).map(|i| 1.0 + (i % 9) as f64 * 0.2).collect()
+}
+
+/// Fig. 4 kernels: ELLPACK family on a FEM matrix.
+fn fig4_kernels(c: &mut Criterion) {
+    let a = matrix("consph");
+    let x = x_for(&a);
+    let ell = EllMatrix::from_coo(&a);
+    let ellr = EllRMatrix::from_coo(&a);
+    let bro: BroEll<f64> = BroEll::compress(&ell, &BroEllConfig::default());
+    let mut g = c.benchmark_group("fig4_sim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("ellpack/consph", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(ell_spmv(&mut s, &ell, &x))
+        })
+    });
+    g.bench_function("ellpack_r/consph", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(ellr_spmv(&mut s, &ellr, &x))
+        })
+    });
+    g.bench_function("bro_ell/consph", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(bro_ell_spmv(&mut s, &bro, &x))
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 7 kernels: the COO family.
+fn fig7_kernels(c: &mut Criterion) {
+    let a = matrix("scircuit");
+    let x = x_for(&a);
+    let bro: BroCoo<f64> = BroCoo::compress(&a, &BroCooConfig::default());
+    let mut g = c.benchmark_group("fig7_sim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("coo/scircuit", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(coo_spmv(&mut s, &a, &x))
+        })
+    });
+    g.bench_function("bro_coo/scircuit", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(bro_coo_spmv(&mut s, &bro, &x))
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 8 kernels: the HYB family on a skewed matrix.
+fn fig8_kernels(c: &mut Criterion) {
+    let a = matrix("twotone");
+    let x = x_for(&a);
+    let hyb = HybMatrix::from_coo(&a);
+    let bro: BroHyb<f64> = BroHyb::from_coo(
+        &a,
+        &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() },
+    );
+    let mut g = c.benchmark_group("fig8_sim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("hyb/twotone", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(hyb_spmv(&mut s, &hyb, &x))
+        })
+    });
+    g.bench_function("bro_hyb/twotone", |b| {
+        b.iter(|| {
+            let mut s = DeviceSim::new(DeviceProfile::tesla_k20());
+            black_box(bro_hyb_spmv(&mut s, &bro, &x))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig4_kernels, fig7_kernels, fig8_kernels);
+criterion_main!(benches);

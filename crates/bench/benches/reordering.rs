@@ -1,0 +1,26 @@
+//! Reordering-algorithm benchmarks (Fig. 9 / Table 5 machinery): BAR's
+//! greedy clustering versus RCM and minimum-degree, as offline host cost.
+
+use bro_core::reorder::{amd_order, bar_order, rcm_order, BarConfig};
+use bro_matrix::{suite, CooMatrix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn matrix() -> CooMatrix<f64> {
+    suite::by_name("e40r5000").unwrap().spec(0.1).generate()
+}
+
+fn reorderings(c: &mut Criterion) {
+    let a = matrix();
+    let mut g = c.benchmark_group("reorder");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(a.rows() as u64));
+    g.bench_function("bar/e40r5000", |b| {
+        b.iter(|| black_box(bar_order(black_box(&a), &BarConfig::default())))
+    });
+    g.bench_function("rcm/e40r5000", |b| b.iter(|| black_box(rcm_order(black_box(&a)))));
+    g.bench_function("amd/e40r5000", |b| b.iter(|| black_box(amd_order(black_box(&a)))));
+    g.finish();
+}
+
+criterion_group!(benches, reorderings);
+criterion_main!(benches);

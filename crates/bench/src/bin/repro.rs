@@ -1,0 +1,148 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--out DIR] [--matrix NAME]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5
+//!   fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!   values multirow ablate
+//!   all            run everything
+//! options:
+//!   --scale F      matrix scale factor in (0, 1], default 0.1
+//!   --out DIR      also write each table as CSV into DIR
+//!   --matrix NAME  only run matrices whose name contains NAME
+//! ```
+
+use bro_bench::experiments::*;
+use bro_bench::ExpContext;
+
+const USAGE: &str = "\
+usage: repro <experiment> [--scale F] [--out DIR] [--matrix NAME]
+
+experiments:
+  table1  GPU specifications (Table 1)
+  table2  benchmark matrix suite (Table 2)
+  table3  BRO-ELL space savings (Table 3)
+  table4  BRO-HYB partitioning and savings (Table 4)
+  table5  space savings after BAR (Table 5)
+  fig3    BRO-ELL GFLOP/s vs space savings sweep (Fig. 3)
+  fig4    BRO-ELL vs ELLPACK / ELLPACK-R (Fig. 4)
+  fig5    effective arithmetic intensity (Fig. 5)
+  fig6    bandwidth utilization, first six matrices (Fig. 6)
+  fig7    BRO-COO vs COO (Fig. 7)
+  fig8    BRO-HYB vs HYB (Fig. 8)
+  fig9    BAR vs RCM vs AMD reordering (Fig. 9 + averages)
+  values  extension: value-stream compression
+  multirow extension: multiple threads per row
+  ablate  ablations: slice height, symbol length, interval length
+  precision  extension: f32 vs f64
+  formats    extension: full format zoo + autotuner picks
+  spmm       extension: block SpMV amortization sweep
+  split      extension: BRO-HYB split-width sweep
+  divergence extension: BRO-ELL vs CPU-style varint scheme
+  solver     extension: solver economics (compression amortization)
+  all     everything above
+
+options:
+  --scale F      matrix scale factor in (0, 1], default 0.1
+  --out DIR      also write each table as CSV into DIR
+  --matrix NAME  only run matrices whose name contains NAME
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = 0.1f64;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut matrix: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
+                scale = v.parse().unwrap_or_else(|_| die("--scale must be a number"));
+                if !(scale > 0.0 && scale <= 1.0) {
+                    die("--scale must be in (0, 1]");
+                }
+            }
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| die("--out needs a directory")).into());
+            }
+            "--matrix" => {
+                matrix = Some(it.next().unwrap_or_else(|| die("--matrix needs a name")).clone());
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(exp) = experiment else {
+        print!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let mut ctx = ExpContext::new(scale);
+    ctx.out_dir = out;
+    ctx.matrix_filter = matrix;
+    eprintln!("running '{exp}' at scale {scale} (use --scale 1.0 for paper-size inputs)");
+    let t0 = std::time::Instant::now();
+    match exp.as_str() {
+        "table1" => table1::run(&mut ctx),
+        "table2" => table2::run(&mut ctx),
+        "table3" => table3::run(&mut ctx),
+        "table4" => table4::run(&mut ctx),
+        "table5" => reorder_exp::run(&mut ctx, true),
+        "fig3" => fig3::run(&mut ctx),
+        "fig4" => fig4::run(&mut ctx),
+        "fig5" => fig5::run(&mut ctx),
+        "fig6" => fig6::run(&mut ctx),
+        "fig7" => fig7::run(&mut ctx),
+        "fig8" => fig8::run(&mut ctx),
+        "fig9" => reorder_exp::run(&mut ctx, false),
+        "values" => values_exp::run(&mut ctx),
+        "multirow" => multirow_exp::run(&mut ctx),
+        "ablate" => ablate::run(&mut ctx),
+        "precision" => precision::run(&mut ctx),
+        "formats" => formats::run(&mut ctx),
+        "spmm" => spmm_exp::run(&mut ctx),
+        "split" => split_exp::run(&mut ctx),
+        "divergence" => divergence::run(&mut ctx),
+        "solver" => solver_exp::run(&mut ctx),
+        "all" => {
+            table1::run(&mut ctx);
+            table2::run(&mut ctx);
+            fig3::run(&mut ctx);
+            table3::run(&mut ctx);
+            fig4::run(&mut ctx);
+            fig5::run(&mut ctx);
+            fig6::run(&mut ctx);
+            fig7::run(&mut ctx);
+            table4::run(&mut ctx);
+            fig8::run(&mut ctx);
+            reorder_exp::run(&mut ctx, false);
+            values_exp::run(&mut ctx);
+            multirow_exp::run(&mut ctx);
+            ablate::run(&mut ctx);
+            precision::run(&mut ctx);
+            formats::run(&mut ctx);
+            spmm_exp::run(&mut ctx);
+            split_exp::run(&mut ctx);
+            divergence::run(&mut ctx);
+            solver_exp::run(&mut ctx);
+        }
+        other => die(&format!("unknown experiment '{other}'\n\n{USAGE}")),
+    }
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,59 @@
+//! One module per table/figure of the paper (see DESIGN.md's experiment
+//! index), plus the extension experiments.
+
+pub mod ablate;
+pub mod divergence;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod formats;
+pub mod multirow_exp;
+pub mod precision;
+pub mod reorder_exp;
+pub mod solver_exp;
+pub mod spmm_exp;
+pub mod split_exp;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod values_exp;
+
+use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport};
+
+/// Runs a kernel closure on a fresh device and reports it, crediting
+/// `useful_flops` (2 × nnz for SpMV) at the given scalar width.
+pub fn run_kernel(
+    profile: &DeviceProfile,
+    useful_flops: u64,
+    val_bytes: usize,
+    f: impl FnOnce(&mut DeviceSim),
+) -> KernelReport {
+    let mut sim = DeviceSim::new(profile.clone());
+    f(&mut sim);
+    KernelReport::from_device(&sim, useful_flops, val_bytes)
+}
+
+/// Geometric mean of a non-empty slice (used for the "average speedup"
+/// claims, which the paper aggregates across matrices).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+}

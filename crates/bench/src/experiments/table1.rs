@@ -1,0 +1,39 @@
+//! Table 1: specifications of the evaluation GPUs.
+
+use crate::context::ExpContext;
+use crate::table::{f, TextTable};
+
+/// Prints the device-specification table.
+pub fn run(ctx: &mut ExpContext) {
+    let mut t = TextTable::new(&[
+        "Specification",
+        ctx.devices[0].name,
+        ctx.devices[1].name,
+        ctx.devices[2].name,
+    ]);
+    let per = |g: &mut TextTable, label: &str, vf: &dyn Fn(&bro_gpu_sim::DeviceProfile) -> String,
+               ctx: &ExpContext| {
+        g.row(
+            std::iter::once(label.to_string())
+                .chain(ctx.devices.iter().map(vf))
+                .collect(),
+        );
+    };
+    per(&mut t, "Compute capability", &|d| d.compute_capability.to_string(), ctx);
+    per(&mut t, "Cores", &|d| d.total_cores().to_string(), ctx);
+    per(&mut t, "Mem. BW (GB/s)", &|d| f(d.mem_bw_peak_gbs, 1), ctx);
+    per(&mut t, "DP perf. (GFlop/s)", &|d| f(d.dp_gflops, 0), ctx);
+    per(&mut t, "Measured BW (GB/s)", &|d| f(d.mem_bw_measured_gbs, 0), ctx);
+    ctx.emit("table1", "Table 1: GPU specifications", &t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_prints() {
+        let mut ctx = ExpContext::new(0.1);
+        run(&mut ctx); // must not panic
+    }
+}

@@ -1,0 +1,142 @@
+//! Delta coding of index rows with the paper's invalid-marker convention.
+//!
+//! In BRO-ELL, each row of the ELLPACK column-index array is delta-encoded:
+//! `δ_{i,j} = c_{i,j} − c_{i,j−1}` with `c_{i,−1}` initialized such that all
+//! valid deltas are **strictly positive** (column indices within a row are
+//! strictly increasing). The value **zero** is reserved to mark padding
+//! entries ("invalid data" in the paper).
+//!
+//! We store 0-based column indices, so the encoding used here is
+//! `δ_{i,0} = c_{i,0} + 1` and `δ_{i,j} = c_{i,j} − c_{i,j−1}` for `j > 0`,
+//! which is exactly the paper's 1-based formulation. The decoder accumulates
+//! deltas into a running 1-based index and subtracts one at use sites.
+
+/// The reserved delta value marking a padding slot.
+pub const INVALID_DELTA: u64 = 0;
+
+/// Errors from delta encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Column indices within a row must be strictly increasing.
+    NotStrictlyIncreasing {
+        /// Position within the row at which monotonicity broke.
+        position: usize,
+        /// The offending previous/current pair.
+        prev: u32,
+        /// Current value.
+        cur: u32,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NotStrictlyIncreasing { position, prev, cur } => write!(
+                f,
+                "column indices not strictly increasing at position {position}: {prev} -> {cur}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Delta-encodes one row of strictly increasing 0-based column indices into
+/// strictly positive deltas, followed by `pad` trailing [`INVALID_DELTA`]
+/// markers.
+///
+/// ```
+/// use bro_bitstream::delta_encode_row;
+/// // Row with columns [0, 2] padded to width 4.
+/// assert_eq!(delta_encode_row(&[0, 2], 2).unwrap(), vec![1, 2, 0, 0]);
+/// ```
+pub fn delta_encode_row(cols: &[u32], pad: usize) -> Result<Vec<u64>, DeltaError> {
+    let mut out = Vec::with_capacity(cols.len() + pad);
+    let mut prev: i64 = -1;
+    for (j, &c) in cols.iter().enumerate() {
+        let delta = c as i64 - prev;
+        if delta <= 0 {
+            return Err(DeltaError::NotStrictlyIncreasing {
+                position: j,
+                prev: prev as u32,
+                cur: c,
+            });
+        }
+        out.push(delta as u64);
+        prev = c as i64;
+    }
+    out.extend(std::iter::repeat_n(INVALID_DELTA, pad));
+    Ok(out)
+}
+
+/// Decodes a delta row back into 0-based column indices, stopping at
+/// [`INVALID_DELTA`] markers (which must only appear as a suffix).
+///
+/// Inverse of [`delta_encode_row`].
+pub fn delta_decode_row(deltas: &[u64]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(deltas.len());
+    let mut acc: i64 = -1;
+    for &d in deltas {
+        if d == INVALID_DELTA {
+            break;
+        }
+        acc += d as i64;
+        out.push(acc as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_from_paper() {
+        // Row 2 of matrix A (0-based cols): [1, 2, 4] — deltas 2,1,2.
+        assert_eq!(delta_encode_row(&[1, 2, 4], 0).unwrap(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn empty_row_is_all_padding() {
+        assert_eq!(delta_encode_row(&[], 3).unwrap(), vec![0, 0, 0]);
+        assert!(delta_decode_row(&[0, 0, 0]).is_empty());
+    }
+
+    #[test]
+    fn first_column_zero_gives_delta_one() {
+        assert_eq!(delta_encode_row(&[0], 0).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let cols = vec![0, 1, 5, 6, 100, 1000];
+        let enc = delta_encode_row(&cols, 4).unwrap();
+        assert_eq!(enc.len(), 10);
+        assert_eq!(delta_decode_row(&enc), cols);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = delta_encode_row(&[3, 3], 0).unwrap_err();
+        assert!(matches!(err, DeltaError::NotStrictlyIncreasing { position: 1, .. }));
+    }
+
+    #[test]
+    fn decreasing_column_rejected() {
+        assert!(delta_encode_row(&[5, 2], 0).is_err());
+    }
+
+    #[test]
+    fn all_deltas_strictly_positive() {
+        let cols = vec![2, 7, 8, 20];
+        for d in delta_encode_row(&cols, 0).unwrap() {
+            assert!(d > 0);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let err = delta_encode_row(&[1, 1], 0).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Symbol-granularity multiplexing of row streams.
+//!
+//! The final step of the BRO compression pipeline interleaves the `h`
+//! equal-bit-length row streams of a slice at `sym_len` granularity:
+//! symbol `c` of row `r` lands at position `c·h + r` of the multiplexed
+//! stream. A warp of simulated GPU threads (thread `r` handling row `r`)
+//! then loads consecutive addresses in each refill step — a perfectly
+//! coalesced access.
+
+use crate::symbol::Symbol;
+use crate::writer::BitString;
+
+/// Errors from multiplexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiplexError {
+    /// All row streams within a slice must have the same bit length.
+    UnequalLengths {
+        /// Index of the offending row within the slice.
+        row: usize,
+        /// Its bit length.
+        got: usize,
+        /// Expected bit length (that of row 0).
+        expected: usize,
+    },
+    /// Row stream lengths must be multiples of the symbol width (the
+    /// `b_p` padding must already have been applied).
+    Unaligned {
+        /// Index of the offending row within the slice.
+        row: usize,
+        /// Its bit length.
+        len_bits: usize,
+    },
+}
+
+impl std::fmt::Display for MultiplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiplexError::UnequalLengths { row, got, expected } => {
+                write!(f, "row {row} has {got} bits, expected {expected}")
+            }
+            MultiplexError::Unaligned { row, len_bits } => {
+                write!(f, "row {row} has {len_bits} bits, not symbol-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiplexError {}
+
+/// Interleaves `h` equal-length, symbol-aligned row streams.
+///
+/// Output layout: `out[c * h + r]` is symbol `c` of row `r`. Returns an
+/// empty vector when the rows carry zero symbols.
+pub fn multiplex<W: Symbol>(rows: &[BitString<W>]) -> Result<Vec<W>, MultiplexError> {
+    let h = rows.len();
+    if h == 0 {
+        return Ok(Vec::new());
+    }
+    let expected = rows[0].len_bits;
+    for (r, row) in rows.iter().enumerate() {
+        if row.len_bits != expected {
+            return Err(MultiplexError::UnequalLengths { row: r, got: row.len_bits, expected });
+        }
+        if row.len_bits % W::BITS as usize != 0 {
+            return Err(MultiplexError::Unaligned { row: r, len_bits: row.len_bits });
+        }
+    }
+    let syms_per_row = expected / W::BITS as usize;
+    let mut out = vec![W::ZERO; syms_per_row * h];
+    for (r, row) in rows.iter().enumerate() {
+        for c in 0..syms_per_row {
+            // Rows padded to the symbol boundary still may have fewer backing
+            // words than syms_per_row only if len_bits lied; guarded above.
+            out[c * h + r] = row.words[c];
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`multiplex`]: splits an interleaved stream back into `h` row
+/// streams of `syms_per_row` symbols each.
+///
+/// # Panics
+///
+/// Panics if `stream.len() != h * syms_per_row`.
+pub fn demultiplex<W: Symbol>(stream: &[W], h: usize, syms_per_row: usize) -> Vec<BitString<W>> {
+    assert_eq!(stream.len(), h * syms_per_row, "stream length mismatch");
+    (0..h)
+        .map(|r| {
+            let words: Vec<W> = (0..syms_per_row).map(|c| stream[c * h + r]).collect();
+            BitString { words, len_bits: syms_per_row * W::BITS as usize }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::BitWriter;
+
+    fn row(vals: &[(u64, u32)]) -> BitString<u32> {
+        let mut w = BitWriter::new();
+        for &(v, b) in vals {
+            w.write(v, b);
+        }
+        let mut s = w.finish();
+        s.pad_to_symbol();
+        // Materialize padding word if the writer did not emit it.
+        while s.words.len() * 32 < s.len_bits {
+            s.words.push(0);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_slice() {
+        assert_eq!(multiplex::<u32>(&[]).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn interleave_layout() {
+        let r0 = row(&[(0xAAAA_AAAA, 32), (0x1111_1111, 32)]);
+        let r1 = row(&[(0xBBBB_BBBB, 32), (0x2222_2222, 32)]);
+        let m = multiplex(&[r0, r1]).unwrap();
+        assert_eq!(m, vec![0xAAAA_AAAA, 0xBBBB_BBBB, 0x1111_1111, 0x2222_2222]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows: Vec<BitString<u32>> =
+            (0..4).map(|r| row(&[(r as u64, 16), (r as u64 + 100, 16), (1, 32)])).collect();
+        let m = multiplex(&rows).unwrap();
+        let back = demultiplex(&m, 4, 2);
+        for (a, b) in rows.iter().zip(&back) {
+            assert_eq!(a.words, b.words);
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_rejected() {
+        let r0 = row(&[(1, 32)]);
+        let r1 = row(&[(1, 32), (2, 32)]);
+        let err = multiplex(&[r0, r1]).unwrap_err();
+        assert!(matches!(err, MultiplexError::UnequalLengths { row: 1, .. }));
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut w = BitWriter::<u32>::new();
+        w.write(1, 5);
+        let s = w.finish(); // 5 bits, deliberately unpadded
+        let err = multiplex(&[s.clone(), s]).unwrap_err();
+        assert!(matches!(err, MultiplexError::Unaligned { row: 0, len_bits: 5 }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MultiplexError::UnequalLengths { row: 3, got: 5, expected: 32 };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn zero_length_rows() {
+        let rows = vec![BitString::<u32>::empty(), BitString::empty()];
+        assert!(multiplex(&rows).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The symbol word abstraction.
+//!
+//! The paper multiplexes compressed row streams at a granularity of
+//! `sym_len` bits ("usually 32 or 64"), which is the unit each simulated GPU
+//! thread loads from the compressed stream. [`Symbol`] abstracts over that
+//! word type so every stream, writer and reader can be instantiated for
+//! either width (the `sym_len` ablation in the benches compares the two).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An unsigned machine word used as the symbol granularity of a bit stream.
+///
+/// All bit streams in this crate are **MSB-first**: the first bit written is
+/// the most significant bit of the first symbol. This matches Algorithm 1 of
+/// the paper, whose decoder extracts `sym[0:b]` (the *top* `b` bits) and then
+/// shifts the buffer left.
+pub trait Symbol:
+    Copy + Clone + Debug + Default + Eq + PartialEq + Ord + PartialOrd + Hash + Send + Sync + 'static
+{
+    /// Number of bits in the symbol (`sym_len`).
+    const BITS: u32;
+
+    /// The zero value.
+    const ZERO: Self;
+
+    /// Shift left by `n` bits; `n` may equal [`Self::BITS`], which yields 0.
+    fn shl(self, n: u32) -> Self;
+
+    /// Shift right by `n` bits; `n` may equal [`Self::BITS`], which yields 0.
+    fn shr(self, n: u32) -> Self;
+
+    /// Bitwise OR.
+    fn or(self, rhs: Self) -> Self;
+
+    /// The `n` most significant bits, right-aligned into a `u64`.
+    /// `n == 0` yields 0.
+    fn top_bits(self, n: u32) -> u64;
+
+    /// Build a symbol from the `n` least significant bits of `v`, placed as
+    /// the most significant bits of the symbol. `n == 0` yields 0.
+    fn from_low_bits_of(v: u64, n: u32) -> Self;
+
+    /// Widen to `u64` (zero-extended).
+    fn to_u64(self) -> u64;
+
+    /// Truncate a `u64` to this symbol width.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_symbol {
+    ($ty:ty, $bits:expr) => {
+        impl Symbol for $ty {
+            const BITS: u32 = $bits;
+            const ZERO: Self = 0;
+
+            #[inline]
+            fn shl(self, n: u32) -> Self {
+                if n >= Self::BITS {
+                    0
+                } else {
+                    self << n
+                }
+            }
+
+            #[inline]
+            fn shr(self, n: u32) -> Self {
+                if n >= Self::BITS {
+                    0
+                } else {
+                    self >> n
+                }
+            }
+
+            #[inline]
+            fn or(self, rhs: Self) -> Self {
+                self | rhs
+            }
+
+            #[inline]
+            fn top_bits(self, n: u32) -> u64 {
+                if n == 0 {
+                    0
+                } else {
+                    (self >> (Self::BITS - n)) as u64
+                }
+            }
+
+            #[inline]
+            fn from_low_bits_of(v: u64, n: u32) -> Self {
+                if n == 0 {
+                    0
+                } else {
+                    let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+                    (((v & mask) as $ty)).shl(Self::BITS - n)
+                }
+            }
+
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $ty
+            }
+        }
+    };
+}
+
+impl_symbol!(u32, 32);
+impl_symbol!(u64, 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_bits_u32() {
+        let s: u32 = 0b1011_0000_0000_0000_0000_0000_0000_0000;
+        assert_eq!(s.top_bits(4), 0b1011);
+        assert_eq!(s.top_bits(1), 0b1);
+        assert_eq!(s.top_bits(0), 0);
+        assert_eq!(s.top_bits(32), s as u64);
+    }
+
+    #[test]
+    fn from_low_bits_round_trip_u32() {
+        let v = 0b1011u64;
+        let s = <u32 as Symbol>::from_low_bits_of(v, 4);
+        assert_eq!(s.top_bits(4), v);
+    }
+
+    #[test]
+    fn from_low_bits_round_trip_u64() {
+        let v = 0x1234_5678_9abcu64;
+        let s = <u64 as Symbol>::from_low_bits_of(v, 48);
+        assert_eq!(s.top_bits(48), v);
+    }
+
+    #[test]
+    fn shl_full_width_is_zero() {
+        assert_eq!(0xffff_ffffu32.shl(32), 0);
+        assert_eq!(u64::MAX.shl(64), 0);
+    }
+
+    #[test]
+    fn shr_full_width_is_zero() {
+        assert_eq!(0xffff_ffffu32.shr(32), 0);
+    }
+
+    #[test]
+    fn from_low_bits_zero_width() {
+        assert_eq!(<u32 as Symbol>::from_low_bits_of(0xdeadbeef, 0), 0);
+        assert_eq!(<u64 as Symbol>::from_low_bits_of(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn from_low_bits_masks_high_bits() {
+        // Only the low n bits of v participate.
+        let s = <u32 as Symbol>::from_low_bits_of(0xff, 4);
+        assert_eq!(s.top_bits(4), 0xf);
+    }
+}

@@ -1,0 +1,69 @@
+//! Bit-width computation — the Γ(u) function of the paper.
+
+/// Γ(u): the number of bits required to represent the unsigned integer `u`.
+///
+/// Γ(0) = 0 by convention; a column whose every delta is zero needs no bits
+/// at all. Γ(1) = 1, Γ(2) = Γ(3) = 2, and so on.
+///
+/// ```
+/// use bro_bitstream::bits_for;
+/// assert_eq!(bits_for(0), 0);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(255), 8);
+/// assert_eq!(bits_for(256), 9);
+/// ```
+#[inline]
+pub fn bits_for(u: u64) -> u32 {
+    64 - u.leading_zeros()
+}
+
+/// The maximum Γ over a slice of values: the common bit allocation needed to
+/// pack all of them at a single width.
+///
+/// Returns 0 for an empty slice.
+#[inline]
+pub fn max_bits(values: &[u64]) -> u32 {
+    // OR-folding and taking the width of the result equals the max of the
+    // individual widths, in a single pass without branching.
+    bits_for(values.iter().fold(0u64, |acc, &v| acc | v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_boundaries() {
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(bits_for(v), k + 1, "2^{k}");
+            assert_eq!(bits_for(v - 1), if k == 0 { 0 } else { k }, "2^{k}-1");
+        }
+    }
+
+    #[test]
+    fn max_bits_empty_is_zero() {
+        assert_eq!(max_bits(&[]), 0);
+    }
+
+    #[test]
+    fn max_bits_uses_or_fold() {
+        // OR-fold gives the same answer as max of bits_for because bits_for
+        // is monotone in the position of the highest set bit.
+        assert_eq!(max_bits(&[1, 2, 3]), 2);
+        assert_eq!(max_bits(&[0, 0, 0]), 0);
+        assert_eq!(max_bits(&[5, 16]), 5);
+    }
+
+    #[test]
+    fn max_bits_equals_max_of_bits_for() {
+        let vals = [0u64, 7, 1023, 12, 65536, 3];
+        let expect = vals.iter().map(|&v| bits_for(v)).max().unwrap();
+        assert_eq!(max_bits(&vals), expect);
+    }
+
+    #[test]
+    fn u64_max() {
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

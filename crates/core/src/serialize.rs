@@ -1,0 +1,475 @@
+//! Binary serialization of compressed matrices.
+//!
+//! Compression is an offline step; a production deployment compresses a
+//! matrix once and reuses the artifact across solver runs. This module
+//! defines a small, versioned little-endian container:
+//!
+//! ```text
+//! magic   "BROSPMV1"                     8 bytes
+//! format  1 = BRO-ELL, 2 = BRO-COO       u8
+//! scalar  4 = f32, 8 = f64               u8
+//! symbol  4 = u32, 8 = u64               u8
+//! payload format-specific                …
+//! ```
+//!
+//! Readers validate the header against the requested types and every length
+//! field against the remaining payload, so truncated or mistyped files are
+//! rejected instead of mis-decoded.
+
+use std::io::{Read, Write};
+
+use bro_bitstream::Symbol;
+use bro_matrix::Scalar;
+
+use crate::bro_coo::{BroCoo, BroCooInterval};
+use crate::bro_ell::{BroEll, BroEllSlice};
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"BROSPMV1";
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Bad magic, wrong format tag, or type mismatch.
+    Header(String),
+    /// Structurally invalid payload.
+    Payload(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "io error: {e}"),
+            SerializeError::Header(m) => write!(f, "header error: {m}"),
+            SerializeError::Payload(m) => write!(f, "payload error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, SerializeError>;
+
+// --- primitive IO helpers -------------------------------------------------
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+fn get_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_usize<R: Read>(r: &mut R, what: &str, cap: u64) -> Result<usize> {
+    let v = get_u64(r)?;
+    if v > cap {
+        return Err(SerializeError::Payload(format!("{what} = {v} exceeds sanity cap {cap}")));
+    }
+    Ok(v as usize)
+}
+
+/// Sanity cap for any single length field (protects against running wild on
+/// corrupted input before hitting EOF).
+const LEN_CAP: u64 = 1 << 40;
+
+fn put_header<W: Write>(w: &mut W, format: u8, val_bytes: u8, sym_bytes: u8) -> Result<()> {
+    w.write_all(MAGIC)?;
+    Ok(w.write_all(&[format, val_bytes, sym_bytes])?)
+}
+
+fn check_header<R: Read>(r: &mut R, format: u8, val_bytes: u8, sym_bytes: u8) -> Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::Header("bad magic".into()));
+    }
+    let mut tags = [0u8; 3];
+    r.read_exact(&mut tags)?;
+    if tags[0] != format {
+        return Err(SerializeError::Header(format!(
+            "format tag {} does not match expected {format}",
+            tags[0]
+        )));
+    }
+    if tags[1] != val_bytes {
+        return Err(SerializeError::Header(format!(
+            "scalar width {} does not match expected {val_bytes}",
+            tags[1]
+        )));
+    }
+    if tags[2] != sym_bytes {
+        return Err(SerializeError::Header(format!(
+            "symbol width {} does not match expected {sym_bytes}",
+            tags[2]
+        )));
+    }
+    Ok(())
+}
+
+fn put_vals<T: Scalar, W: Write>(w: &mut W, vals: &[T]) -> Result<()> {
+    put_u64(w, vals.len() as u64)?;
+    for v in vals {
+        w.write_all(&v.to_f64().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn get_vals<T: Scalar, R: Read>(r: &mut R) -> Result<Vec<T>> {
+    let n = get_usize(r, "value count", LEN_CAP)?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        out.push(T::from_f64(f64::from_le_bytes(b)));
+    }
+    Ok(out)
+}
+
+fn put_syms<S: Symbol, W: Write>(w: &mut W, syms: &[S]) -> Result<()> {
+    put_u64(w, syms.len() as u64)?;
+    for s in syms {
+        match S::BITS {
+            32 => put_u32(w, s.to_u64() as u32)?,
+            64 => put_u64(w, s.to_u64())?,
+            other => {
+                return Err(SerializeError::Payload(format!("unsupported symbol width {other}")))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_syms<S: Symbol, R: Read>(r: &mut R) -> Result<Vec<S>> {
+    let n = get_usize(r, "symbol count", LEN_CAP)?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let v = match S::BITS {
+            32 => get_u32(r)? as u64,
+            64 => get_u64(r)?,
+            other => {
+                return Err(SerializeError::Payload(format!("unsupported symbol width {other}")))
+            }
+        };
+        out.push(S::from_u64(v));
+    }
+    Ok(out)
+}
+
+// --- BRO-ELL ----------------------------------------------------------------
+
+/// Writes a BRO-ELL matrix to a binary stream.
+pub fn write_bro_ell<T: Scalar, S: Symbol, W: Write>(
+    bro: &BroEll<T, S>,
+    w: &mut W,
+) -> Result<()> {
+    put_header(w, 1, T::BYTES as u8, (S::BITS / 8) as u8)?;
+    put_u64(w, bro.rows() as u64)?;
+    put_u64(w, bro.cols() as u64)?;
+    put_u64(w, bro.nnz() as u64)?;
+    put_u64(w, bro.ell_width() as u64)?;
+    put_u64(w, bro.slice_height() as u64)?;
+    put_u64(w, bro.slices().len() as u64)?;
+    for s in bro.slices() {
+        put_u64(w, s.height as u64)?;
+        put_u64(w, s.num_cols as u64)?;
+        put_u32(w, s.pad_bits)?;
+        put_u64(w, s.syms_per_row as u64)?;
+        put_u64(w, s.bit_alloc.len() as u64)?;
+        w.write_all(&s.bit_alloc)?;
+        put_syms(w, &s.stream)?;
+        put_vals(w, &s.vals)?;
+    }
+    Ok(())
+}
+
+/// Reads a BRO-ELL matrix from a binary stream.
+pub fn read_bro_ell<T: Scalar, S: Symbol, R: Read>(r: &mut R) -> Result<BroEll<T, S>> {
+    check_header(r, 1, T::BYTES as u8, (S::BITS / 8) as u8)?;
+    let rows = get_usize(r, "rows", LEN_CAP)?;
+    let cols = get_usize(r, "cols", LEN_CAP)?;
+    let nnz = get_usize(r, "nnz", LEN_CAP)?;
+    let ell_width = get_usize(r, "ell width", LEN_CAP)?;
+    let slice_height = get_usize(r, "slice height", LEN_CAP)?;
+    let n_slices = get_usize(r, "slice count", LEN_CAP)?;
+    if slice_height == 0 && n_slices > 0 {
+        return Err(SerializeError::Payload("zero slice height".into()));
+    }
+    let mut slices = Vec::with_capacity(n_slices.min(1 << 20));
+    let mut total_rows = 0usize;
+    for i in 0..n_slices {
+        let height = get_usize(r, "slice rows", LEN_CAP)?;
+        let num_cols = get_usize(r, "slice cols", LEN_CAP)?;
+        let pad_bits = get_u32(r)?;
+        let syms_per_row = get_usize(r, "syms per row", LEN_CAP)?;
+        let alloc_len = get_usize(r, "bit_alloc length", LEN_CAP)?;
+        if alloc_len != num_cols {
+            return Err(SerializeError::Payload(format!(
+                "slice {i}: bit_alloc length {alloc_len} != num_cols {num_cols}"
+            )));
+        }
+        let mut bit_alloc = vec![0u8; alloc_len];
+        r.read_exact(&mut bit_alloc)?;
+        if bit_alloc.iter().any(|&b| b as u32 > S::BITS) {
+            return Err(SerializeError::Payload(format!(
+                "slice {i}: bit width exceeds symbol width"
+            )));
+        }
+        let stream = get_syms::<S, _>(r)?;
+        if stream.len() != syms_per_row * height {
+            return Err(SerializeError::Payload(format!(
+                "slice {i}: stream length {} != {}",
+                stream.len(),
+                syms_per_row * height
+            )));
+        }
+        let vals = get_vals::<T, _>(r)?;
+        if vals.len() != height * num_cols {
+            return Err(SerializeError::Payload(format!(
+                "slice {i}: value length {} != {}",
+                vals.len(),
+                height * num_cols
+            )));
+        }
+        total_rows += height;
+        slices.push(BroEllSlice { height, num_cols, bit_alloc, pad_bits, syms_per_row, stream, vals });
+    }
+    if total_rows != rows {
+        return Err(SerializeError::Payload(format!(
+            "slice heights sum to {total_rows}, expected {rows}"
+        )));
+    }
+    Ok(BroEll::from_parts(rows, cols, nnz, ell_width, slice_height, slices))
+}
+
+// --- BRO-COO ----------------------------------------------------------------
+
+/// Writes a BRO-COO matrix to a binary stream.
+pub fn write_bro_coo<T: Scalar, S: Symbol, W: Write>(
+    bro: &BroCoo<T, S>,
+    w: &mut W,
+) -> Result<()> {
+    put_header(w, 2, T::BYTES as u8, (S::BITS / 8) as u8)?;
+    put_u64(w, bro.rows() as u64)?;
+    put_u64(w, bro.cols() as u64)?;
+    put_u64(w, bro.warp_size() as u64)?;
+    put_u64(w, bro.intervals().len() as u64)?;
+    for iv in bro.intervals() {
+        put_u64(w, iv.start as u64)?;
+        put_u64(w, iv.len as u64)?;
+        put_u32(w, iv.base_row)?;
+        w.write_all(&[iv.bit_width])?;
+        put_u64(w, iv.syms_per_lane as u64)?;
+        put_syms(w, &iv.stream)?;
+    }
+    put_u64(w, bro.col_indices().len() as u64)?;
+    for &c in bro.col_indices() {
+        put_u32(w, c)?;
+    }
+    put_vals(w, bro.values())?;
+    Ok(())
+}
+
+/// Reads a BRO-COO matrix from a binary stream.
+pub fn read_bro_coo<T: Scalar, S: Symbol, R: Read>(r: &mut R) -> Result<BroCoo<T, S>> {
+    check_header(r, 2, T::BYTES as u8, (S::BITS / 8) as u8)?;
+    let rows = get_usize(r, "rows", LEN_CAP)?;
+    let cols = get_usize(r, "cols", LEN_CAP)?;
+    let warp_size = get_usize(r, "warp size", 4096)?;
+    if warp_size == 0 {
+        return Err(SerializeError::Payload("zero warp size".into()));
+    }
+    let n_intervals = get_usize(r, "interval count", LEN_CAP)?;
+    let mut intervals = Vec::with_capacity(n_intervals.min(1 << 20));
+    let mut expected_start = 0usize;
+    for i in 0..n_intervals {
+        let start = get_usize(r, "interval start", LEN_CAP)?;
+        let len = get_usize(r, "interval length", LEN_CAP)?;
+        if start != expected_start || len == 0 {
+            return Err(SerializeError::Payload(format!(
+                "interval {i}: start {start} (expected {expected_start}), len {len}"
+            )));
+        }
+        expected_start += if i + 1 < n_intervals { len.max(1) } else { len };
+        let base_row = get_u32(r)?;
+        let mut bw = [0u8; 1];
+        r.read_exact(&mut bw)?;
+        if bw[0] as u32 > S::BITS {
+            return Err(SerializeError::Payload(format!("interval {i}: bit width too large")));
+        }
+        let syms_per_lane = get_usize(r, "syms per lane", LEN_CAP)?;
+        let stream = get_syms::<S, _>(r)?;
+        if stream.len() != syms_per_lane * warp_size {
+            return Err(SerializeError::Payload(format!(
+                "interval {i}: stream length {} != {}",
+                stream.len(),
+                syms_per_lane * warp_size
+            )));
+        }
+        intervals.push(BroCooInterval {
+            start,
+            len,
+            base_row,
+            bit_width: bw[0],
+            syms_per_lane,
+            stream,
+        });
+    }
+    let n_cols_arr = get_usize(r, "col index count", LEN_CAP)?;
+    let total_len: usize = intervals.iter().map(|iv| iv.len).sum();
+    if n_cols_arr != total_len {
+        return Err(SerializeError::Payload(format!(
+            "column array length {n_cols_arr} != interval total {total_len}"
+        )));
+    }
+    let mut col_idx = Vec::with_capacity(n_cols_arr.min(1 << 20));
+    for _ in 0..n_cols_arr {
+        let c = get_u32(r)?;
+        if c as usize >= cols {
+            return Err(SerializeError::Payload(format!("column index {c} out of {cols}")));
+        }
+        col_idx.push(c);
+    }
+    let vals = get_vals::<T, _>(r)?;
+    if vals.len() != n_cols_arr {
+        return Err(SerializeError::Payload(format!(
+            "value count {} != entry count {n_cols_arr}",
+            vals.len()
+        )));
+    }
+    Ok(BroCoo::from_parts(rows, cols, warp_size, intervals, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BroCooConfig, BroEllConfig};
+    use bro_matrix::CooMatrix;
+
+    fn matrix() -> CooMatrix<f64> {
+        bro_matrix::generate::laplacian_2d::<f64>(13)
+    }
+
+    #[test]
+    fn bro_ell_round_trip() {
+        let coo = matrix();
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 32, ..Default::default() });
+        let mut buf = Vec::new();
+        write_bro_ell(&bro, &mut buf).unwrap();
+        let back: BroEll<f64> = read_bro_ell(&mut &buf[..]).unwrap();
+        assert_eq!(back, bro);
+        assert_eq!(back.decompress(), coo);
+    }
+
+    #[test]
+    fn bro_ell_round_trip_u64_symbols() {
+        let coo = matrix();
+        let ell = bro_matrix::EllMatrix::from_coo(&coo);
+        let bro: BroEll<f64, u64> = BroEll::compress(&ell, &BroEllConfig::default());
+        let mut buf = Vec::new();
+        write_bro_ell(&bro, &mut buf).unwrap();
+        let back: BroEll<f64, u64> = read_bro_ell(&mut &buf[..]).unwrap();
+        assert_eq!(back, bro);
+    }
+
+    #[test]
+    fn bro_coo_round_trip() {
+        let coo = matrix();
+        let bro: BroCoo<f64> = BroCoo::compress(&coo, &BroCooConfig::default());
+        let mut buf = Vec::new();
+        write_bro_coo(&bro, &mut buf).unwrap();
+        let back: BroCoo<f64> = read_bro_coo(&mut &buf[..]).unwrap();
+        assert_eq!(back, bro);
+        assert_eq!(back.decompress(), coo);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let coo32: CooMatrix<f32> =
+            CooMatrix::from_triplets(3, 3, &[0, 1, 2], &[1, 2, 0], &[1.5f32, -2.25, 3.0])
+                .unwrap();
+        let bro: BroEll<f32> = BroEll::from_coo(&coo32, &BroEllConfig::default());
+        let mut buf = Vec::new();
+        write_bro_ell(&bro, &mut buf).unwrap();
+        let back: BroEll<f32> = read_bro_ell(&mut &buf[..]).unwrap();
+        assert_eq!(back.decompress(), coo32);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
+            .unwrap();
+        buf[0] ^= 0xFF;
+        let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::Header(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_scalar_width_rejected() {
+        let mut buf = Vec::new();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
+            .unwrap();
+        let err = read_bro_ell::<f32, u32, _>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::Header(_)));
+    }
+
+    #[test]
+    fn wrong_format_tag_rejected() {
+        let mut buf = Vec::new();
+        write_bro_coo(
+            &BroCoo::<f64>::compress(&matrix(), &BroCooConfig::default()),
+            &mut buf,
+        )
+        .unwrap();
+        let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::Header(_)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
+            .unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::Io(_) | SerializeError::Payload(_)));
+    }
+
+    #[test]
+    fn corrupted_length_field_rejected() {
+        let coo = matrix();
+        let bro: BroEll<f64> = BroEll::from_coo(&coo, &Default::default());
+        let mut buf = Vec::new();
+        write_bro_ell(&bro, &mut buf).unwrap();
+        // Corrupt the rows field (offset 11: after magic + 3 tag bytes).
+        buf[11] ^= 0x55;
+        assert!(read_bro_ell::<f64, u32, _>(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SerializeError::Header("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

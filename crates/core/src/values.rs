@@ -1,0 +1,165 @@
+//! Value-data compression — the paper's stated future work ("other sources
+//! of performance improvement such as … value data compression will be
+//! investigated").
+//!
+//! Many engineering matrices carry few distinct values (stencil
+//! coefficients, unit entries from pattern-like problems). Following the
+//! value-compression idea of Kourtis et al. (cited by the paper), values
+//! are compressed with a **dictionary**: if a matrix has at most 256
+//! distinct values, each entry is stored as a one-byte code into a lookup
+//! table. Otherwise the values stay raw — never lossy.
+
+use std::collections::HashMap;
+
+use bro_matrix::{CooMatrix, Scalar};
+
+use crate::analysis::SpaceSavings;
+
+/// Largest dictionary that still allows one-byte codes.
+pub const MAX_DICTIONARY: usize = 256;
+
+/// A (possibly) compressed value stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressedValues<T: Scalar> {
+    /// Values kept verbatim (too many distinct values to dictionary-code).
+    Raw(Vec<T>),
+    /// Dictionary coding: `table[codes[i]]` reconstructs value `i`.
+    Dictionary {
+        /// Distinct values, at most [`MAX_DICTIONARY`].
+        table: Vec<T>,
+        /// One byte per entry.
+        codes: Vec<u8>,
+    },
+}
+
+impl<T: Scalar> CompressedValues<T> {
+    /// Compresses a value stream. Chooses the dictionary form when the
+    /// number of distinct values allows it.
+    pub fn compress(values: &[T]) -> Self {
+        // Scalars are not Eq/Hash; key on bit patterns of the f64 image,
+        // which is exact for both f32 and f64 sources.
+        let mut index: HashMap<u64, u8> = HashMap::new();
+        let mut table: Vec<T> = Vec::new();
+        let mut codes: Vec<u8> = Vec::with_capacity(values.len());
+        for &v in values {
+            let key = v.to_f64().to_bits();
+            match index.get(&key) {
+                Some(&code) => codes.push(code),
+                None => {
+                    if table.len() >= MAX_DICTIONARY {
+                        return CompressedValues::Raw(values.to_vec());
+                    }
+                    let code = table.len() as u8;
+                    index.insert(key, code);
+                    table.push(v);
+                    codes.push(code);
+                }
+            }
+        }
+        CompressedValues::Dictionary { table, codes }
+    }
+
+    /// Reconstructs the original value stream.
+    pub fn decompress(&self) -> Vec<T> {
+        match self {
+            CompressedValues::Raw(v) => v.clone(),
+            CompressedValues::Dictionary { table, codes } => {
+                codes.iter().map(|&c| table[c as usize]).collect()
+            }
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        match self {
+            CompressedValues::Raw(v) => v.len(),
+            CompressedValues::Dictionary { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage accounting versus raw values.
+    pub fn space_savings(&self) -> SpaceSavings {
+        let original = self.len() * T::BYTES;
+        let compressed = match self {
+            CompressedValues::Raw(_) => original,
+            CompressedValues::Dictionary { table, codes } => {
+                table.len() * T::BYTES + codes.len()
+            }
+        };
+        SpaceSavings { original_bytes: original, compressed_bytes: compressed }
+    }
+}
+
+/// Combined index + value compression report for a matrix: what the paper's
+/// future-work extension would save end to end (index savings from BRO-ELL
+/// come on top of this).
+pub fn analyze_value_compression<T: Scalar>(coo: &CooMatrix<T>) -> SpaceSavings {
+    CompressedValues::compress(coo.values()).space_savings()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_round_trip() {
+        let vals = vec![1.0f64, -1.0, 4.0, 1.0, 4.0, -1.0, 1.0];
+        let c = CompressedValues::compress(&vals);
+        assert!(matches!(c, CompressedValues::Dictionary { .. }));
+        assert_eq!(c.decompress(), vals);
+    }
+
+    #[test]
+    fn dictionary_savings_for_stencil_values() {
+        // A 5-point stencil matrix has 2 distinct values.
+        let vals: Vec<f64> = (0..10_000).map(|i| if i % 5 == 0 { 4.0 } else { -1.0 }).collect();
+        let c = CompressedValues::compress(&vals);
+        let s = c.space_savings();
+        // 8 bytes -> ~1 byte per entry.
+        assert!(s.eta() > 0.85, "eta = {}", s.eta());
+    }
+
+    #[test]
+    fn too_many_distinct_values_falls_back_to_raw() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let c = CompressedValues::compress(&vals);
+        assert!(matches!(c, CompressedValues::Raw(_)));
+        assert_eq!(c.decompress(), vals);
+        assert_eq!(c.space_savings().eta(), 0.0);
+    }
+
+    #[test]
+    fn exactly_256_distinct_values_still_dictionary() {
+        let mut vals: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        vals.extend((0..256).map(|i| i as f64));
+        let c = CompressedValues::compress(&vals);
+        assert!(matches!(c, CompressedValues::Dictionary { .. }));
+        assert_eq!(c.decompress(), vals);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let c = CompressedValues::<f64>::compress(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.decompress(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn analyze_on_matrix() {
+        let coo = bro_matrix::generate::laplacian_2d::<f64>(16);
+        let s = analyze_value_compression(&coo);
+        assert!(s.eta() > 0.8, "Laplacian has two distinct values; eta = {}", s.eta());
+    }
+
+    #[test]
+    fn f32_values_supported() {
+        let vals = vec![1.5f32, 2.5, 1.5];
+        let c = CompressedValues::compress(&vals);
+        assert_eq!(c.decompress(), vals);
+    }
+}

@@ -1,0 +1,106 @@
+//! Synthetic device address space.
+//!
+//! Kernels executing on the simulator operate on ordinary host slices, but
+//! coalescing and cache behaviour depend on *addresses*. [`AddrSpace`] hands
+//! out non-overlapping, 256-byte-aligned base addresses; [`BufferAddr`]
+//! converts element indices to byte addresses.
+
+/// A bump allocator for simulated device addresses.
+#[derive(Debug, Clone)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrSpace {
+    /// A fresh address space. The first allocation starts above zero so a
+    /// zero address can serve as a sentinel.
+    pub fn new() -> Self {
+        AddrSpace { next: 0x1000 }
+    }
+
+    /// Allocates an array of `len` elements of `elem_bytes` each, aligned to
+    /// 256 bytes (CUDA's allocation guarantee).
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> BufferAddr {
+        let base = self.next;
+        let size = (len * elem_bytes) as u64;
+        self.next = (self.next + size + 255) & !255;
+        BufferAddr { base, elem_bytes: elem_bytes as u64, len }
+    }
+
+    /// Allocates for a typed slice.
+    pub fn alloc_for<T>(&mut self, data: &[T]) -> BufferAddr {
+        self.alloc(data.len(), std::mem::size_of::<T>())
+    }
+}
+
+/// The device address range of one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferAddr {
+    /// Base byte address.
+    pub base: u64,
+    /// Bytes per element.
+    pub elem_bytes: u64,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl BufferAddr {
+    /// Byte address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "buffer index {i} out of {} elements", self.len);
+        self.base + i as u64 * self.elem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut sp = AddrSpace::new();
+        let a = sp.alloc(100, 8);
+        let b = sp.alloc(50, 4);
+        assert!(a.base + 800 <= b.base);
+    }
+
+    #[test]
+    fn alignment_is_256() {
+        let mut sp = AddrSpace::new();
+        let _ = sp.alloc(3, 1);
+        let b = sp.alloc(10, 8);
+        assert_eq!(b.base % 256, 0);
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut sp = AddrSpace::new();
+        let a = sp.alloc(10, 8);
+        assert_eq!(a.addr(3) - a.addr(0), 24);
+    }
+
+    #[test]
+    fn alloc_for_uses_type_size() {
+        let mut sp = AddrSpace::new();
+        let data = [0.0f64; 7];
+        let a = sp.alloc_for(&data);
+        assert_eq!(a.elem_bytes, 8);
+        assert_eq!(a.len, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_debug_panics() {
+        let mut sp = AddrSpace::new();
+        let a = sp.alloc(2, 4);
+        a.addr(2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Set-associative LRU cache model, used for the per-SM texture cache that
+//! services reads of the input vector `x`.
+
+/// A set-associative cache with LRU replacement.
+///
+/// Only tags are tracked — the simulator never stores data in the cache; the
+/// kernel reads actual values from host memory and the cache decides whether
+/// the access produces DRAM traffic.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    assoc: usize,
+    line_bytes: u64,
+    /// `sets * assoc` tags; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// Per-way last-use stamps for LRU.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache of `capacity_bytes` with the given line size and
+    /// associativity. The number of sets is rounded up to at least 1.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1);
+        // Zero capacity disables the cache entirely: every access misses.
+        let sets = if capacity_bytes == 0 {
+            0
+        } else {
+            ((capacity_bytes / line_bytes).max(assoc) / assoc).max(1)
+        };
+        SetAssocCache {
+            sets,
+            assoc,
+            line_bytes: line_bytes as u64,
+            tags: vec![u64::MAX; sets * assoc],
+            stamps: vec![0; sets * assoc],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.assoc * self.line_bytes as usize
+    }
+
+    /// Accesses the byte address; returns `true` on hit. A miss installs the
+    /// line, evicting the LRU way of its set.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        if self.sets == 0 {
+            self.misses += 1;
+            return false;
+        }
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let ways = &mut self.tags[set * self.assoc..(set + 1) * self.assoc];
+        let stamps = &mut self.stamps[set * self.assoc..(set + 1) * self.assoc];
+        for (w, tag) in ways.iter().enumerate() {
+            if *tag == line {
+                stamps[w] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict LRU (empty ways have stamp 0, so they fill first).
+        let lru = (0..self.assoc).min_by_key(|&w| stamps[w]).expect("assoc >= 1");
+        ways[lru] = line;
+        stamps[lru] = self.clock;
+        self.misses += 1;
+        false
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidates all lines and resets statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = SetAssocCache::new(1024, 32, 4);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(127)); // same 32-byte line as 96..128? 100/32=3, 127/32=3
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_miss() {
+        let mut c = SetAssocCache::new(1024, 32, 4);
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 sets x 2 ways x 32B lines = 128 B.
+        let mut c = SetAssocCache::new(128, 32, 2);
+        assert_eq!(c.sets(), 2);
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        c.access(0 * 32);
+        c.access(2 * 32);
+        c.access(0 * 32); // touch line 0: line 2 becomes LRU
+        c.access(4 * 32); // evicts line 2
+        assert!(c.access(0 * 32), "line 0 must have survived");
+        assert!(!c.access(2 * 32), "line 2 must have been evicted");
+    }
+
+    #[test]
+    fn capacity_working_set_hits_after_warmup() {
+        let mut c = SetAssocCache::new(4096, 32, 4);
+        for round in 0..3 {
+            for addr in (0..4096u64).step_by(32) {
+                let hit = c.access(addr);
+                if round > 0 {
+                    assert!(hit, "addr {addr} should hit after warmup");
+                }
+            }
+        }
+        assert_eq!(c.misses(), 128);
+    }
+
+    #[test]
+    fn over_capacity_streaming_never_hits() {
+        let mut c = SetAssocCache::new(1024, 32, 4);
+        for round in 0..2 {
+            for addr in (0..64 * 1024u64).step_by(32) {
+                assert!(!c.access(addr), "round {round} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_rate_and_reset() {
+        let mut c = SetAssocCache::new(1024, 32, 4);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn tiny_capacity_clamped() {
+        let c = SetAssocCache::new(16, 32, 4);
+        assert!(c.capacity_bytes() >= 4 * 32);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut c = SetAssocCache::new(0, 32, 4);
+        assert_eq!(c.capacity_bytes(), 0);
+        assert!(!c.access(0));
+        assert!(!c.access(0));
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! SIMT execution engine.
+//!
+//! A kernel launch is expressed as a closure executed once per thread block.
+//! Blocks are assigned round-robin to SMs (`sm = block % sms`, matching the
+//! hardware's greedy block scheduler for uniform-duration blocks); the SMs
+//! run in parallel on host threads, each processing its blocks sequentially
+//! against its own texture cache, so results and statistics are
+//! deterministic.
+//!
+//! Inside a block, the kernel narrates its work to the [`BlockCtx`]:
+//! warp-level memory instructions (with the byte addresses of the active
+//! lanes) and arithmetic operation counts. The context performs coalescing,
+//! drives the texture cache, and accumulates [`LaunchStats`].
+
+use rayon::prelude::*;
+
+use crate::buffer::{AddrSpace, BufferAddr};
+use crate::cache::SetAssocCache;
+use crate::device::DeviceProfile;
+use crate::stats::LaunchStats;
+
+/// A simulated GPU device: a profile plus an address space and the
+/// accumulated statistics of every launch since the last [`DeviceSim::reset_stats`].
+#[derive(Debug)]
+pub struct DeviceSim {
+    profile: DeviceProfile,
+    addr_space: AddrSpace,
+    accumulated: LaunchStats,
+    launches: usize,
+}
+
+impl DeviceSim {
+    /// Creates a device from a profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        DeviceSim { profile, addr_space: AddrSpace::new(), accumulated: LaunchStats::default(), launches: 0 }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Allocates a simulated device buffer for a host slice.
+    pub fn alloc_for<T>(&mut self, data: &[T]) -> BufferAddr {
+        self.addr_space.alloc_for(data)
+    }
+
+    /// Allocates a simulated device buffer by length and element size.
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> BufferAddr {
+        self.addr_space.alloc(len, elem_bytes)
+    }
+
+    /// Charges a constant-memory working set (e.g. the `bit_alloc` arrays).
+    /// The constant cache broadcasts to all SMs, so the set is charged once
+    /// per launch, not per block.
+    pub fn charge_constant(&mut self, bytes: u64) {
+        self.accumulated.const_bytes += bytes;
+    }
+
+    /// Statistics accumulated since construction or the last reset.
+    pub fn stats(&self) -> &LaunchStats {
+        &self.accumulated
+    }
+
+    /// Number of kernel launches since the last reset.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// Clears accumulated statistics and the launch counter (the address
+    /// space is kept).
+    pub fn reset_stats(&mut self) {
+        self.accumulated = LaunchStats::default();
+        self.launches = 0;
+    }
+
+    /// Merges the accumulated statistics and launch count of another device
+    /// run into this one. Used by composite kernels (HYB = ELL + COO) whose
+    /// parts execute as separate launches that must be reported together.
+    pub fn absorb(&mut self, other: &DeviceSim) {
+        self.accumulated.merge(&other.accumulated);
+        self.launches += other.launches;
+    }
+
+    /// Launches a grid of `blocks` thread blocks of `threads_per_block`
+    /// threads. `f(block_id, ctx)` executes one block and may return a
+    /// per-block output; outputs are returned in block order.
+    pub fn launch<O, F>(&mut self, blocks: usize, threads_per_block: usize, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(usize, &mut BlockCtx) -> O + Sync,
+    {
+        assert!(threads_per_block > 0, "empty thread blocks are not allowed");
+        let sms = self.profile.sms;
+        let warp = self.profile.warp_size;
+        let warps_per_block = threads_per_block.div_ceil(warp) as u64;
+
+        let mut per_sm: Vec<(Vec<(usize, O)>, LaunchStats)> = (0..sms)
+            .into_par_iter()
+            .map(|sm| {
+                let mut cache = SetAssocCache::new(
+                    self.profile.tex_cache_bytes,
+                    self.profile.tex_line_bytes,
+                    self.profile.tex_assoc,
+                );
+                let mut stats = LaunchStats::default();
+                let mut outs = Vec::new();
+                let mut block = sm;
+                while block < blocks {
+                    let mut ctx = BlockCtx {
+                        block_id: block,
+                        threads: threads_per_block,
+                        warp_size: warp,
+                        txn_bytes: self.profile.txn_bytes as u64,
+                        stats: &mut stats,
+                        cache: &mut cache,
+                        seg_scratch: Vec::with_capacity(warp * 2),
+                    };
+                    let out = f(block, &mut ctx);
+                    outs.push((block, out));
+                    block += sms;
+                }
+                stats.blocks_launched = outs.len() as u64;
+                stats.warps_launched = outs.len() as u64 * warps_per_block;
+                stats.tex_accesses = cache.hits() + cache.misses();
+                stats.tex_hits = cache.hits();
+                stats.tex_misses = cache.misses();
+                stats.tex_fill_bytes = cache.misses() * cache.line_bytes();
+                (outs, stats)
+            })
+            .collect();
+
+        let mut outputs: Vec<(usize, O)> = Vec::with_capacity(blocks);
+        for (outs, stats) in per_sm.iter_mut() {
+            outputs.append(outs);
+            self.accumulated.merge(stats);
+        }
+        self.launches += 1;
+        outputs.sort_by_key(|&(b, _)| b);
+        outputs.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// Per-block execution context handed to kernels.
+pub struct BlockCtx<'a> {
+    block_id: usize,
+    threads: usize,
+    warp_size: usize,
+    txn_bytes: u64,
+    stats: &'a mut LaunchStats,
+    cache: &'a mut SetAssocCache,
+    seg_scratch: Vec<u64>,
+}
+
+impl BlockCtx<'_> {
+    /// This block's index within the grid.
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Threads per block (the paper's slice height `h`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Threads per warp.
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Counts the memory transactions needed by one warp instruction whose
+    /// active lanes touch `[addr, addr + elem_bytes)` for each given address.
+    fn coalesce(&mut self, addrs: &[u64], elem_bytes: u64) -> u64 {
+        debug_assert!(
+            addrs.len() <= self.warp_size,
+            "a warp instruction has at most warp_size active lanes"
+        );
+        self.seg_scratch.clear();
+        for &a in addrs {
+            let first = a / self.txn_bytes;
+            let last = (a + elem_bytes - 1) / self.txn_bytes;
+            for seg in first..=last {
+                self.seg_scratch.push(seg);
+            }
+        }
+        self.seg_scratch.sort_unstable();
+        self.seg_scratch.dedup();
+        self.seg_scratch.len() as u64
+    }
+
+    /// One warp-level global **load** instruction. `addrs` holds the byte
+    /// addresses of the active lanes (inactive lanes are simply omitted).
+    pub fn global_read(&mut self, addrs: &[u64], elem_bytes: u64) {
+        if addrs.is_empty() {
+            return;
+        }
+        let txns = self.coalesce(addrs, elem_bytes);
+        self.stats.global_load_instrs += 1;
+        self.stats.global_read_txns += txns;
+        self.stats.global_read_bytes += txns * self.txn_bytes;
+    }
+
+    /// One warp-level global **store** instruction.
+    pub fn global_write(&mut self, addrs: &[u64], elem_bytes: u64) {
+        if addrs.is_empty() {
+            return;
+        }
+        let txns = self.coalesce(addrs, elem_bytes);
+        self.stats.global_store_instrs += 1;
+        self.stats.global_write_txns += txns;
+        self.stats.global_write_bytes += txns * self.txn_bytes;
+    }
+
+    /// One warp-level atomic read-modify-write. Each distinct address costs
+    /// one 32-byte L2 sector round trip.
+    pub fn atomic_rmw(&mut self, addrs: &[u64]) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.seg_scratch.clear();
+        self.seg_scratch.extend_from_slice(addrs);
+        self.seg_scratch.sort_unstable();
+        self.seg_scratch.dedup();
+        let n = self.seg_scratch.len() as u64;
+        self.stats.atomic_txns += n;
+        self.stats.atomic_bytes += n * 32;
+    }
+
+    /// Per-lane reads of the input vector through the texture cache.
+    pub fn tex_read(&mut self, addrs: &[u64]) {
+        for &a in addrs {
+            self.cache.access(a);
+        }
+    }
+
+    /// `n` useful floating-point operations (one FMA counts as 2).
+    pub fn flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// `n` integer / shift / branch operations (decompression work).
+    pub fn int_ops(&mut self, n: u64) {
+        self.stats.int_ops += n;
+    }
+
+    /// `n` warp-synchronous operations (shuffle, scan or reduction steps).
+    pub fn warp_ops(&mut self, n: u64) {
+        self.stats.warp_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> DeviceSim {
+        DeviceSim::new(DeviceProfile::tesla_c2070())
+    }
+
+    #[test]
+    fn launch_returns_outputs_in_block_order() {
+        let mut s = sim();
+        let outs = s.launch(100, 32, |b, _| b * 2);
+        assert_eq!(outs.len(), 100);
+        for (i, &o) in outs.iter().enumerate() {
+            assert_eq!(o, i * 2);
+        }
+    }
+
+    #[test]
+    fn coalesced_warp_read_is_minimal() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            // 32 lanes x 4-byte elements, consecutive: exactly one 128 B txn.
+            let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+            ctx.global_read(&addrs, 4);
+        });
+        assert_eq!(s.stats().global_read_txns, 1);
+        assert_eq!(s.stats().global_read_bytes, 128);
+    }
+
+    #[test]
+    fn strided_warp_read_explodes_transactions() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            // Each lane hits its own 128 B segment.
+            let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+            ctx.global_read(&addrs, 4);
+        });
+        assert_eq!(s.stats().global_read_txns, 32);
+    }
+
+    #[test]
+    fn element_spanning_segment_counts_both() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            // An 8-byte element straddling a 128 B boundary.
+            ctx.global_read(&[124], 8);
+        });
+        assert_eq!(s.stats().global_read_txns, 2);
+    }
+
+    #[test]
+    fn double_precision_warp_read_needs_two_txns() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            let addrs: Vec<u64> = (0..32).map(|i| 0x2000 + i * 8).collect();
+            ctx.global_read(&addrs, 8);
+        });
+        assert_eq!(s.stats().global_read_txns, 2);
+        assert_eq!(s.stats().global_read_bytes, 256);
+    }
+
+    #[test]
+    fn empty_access_is_free() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            ctx.global_read(&[], 8);
+            ctx.global_write(&[], 8);
+            ctx.atomic_rmw(&[]);
+        });
+        assert_eq!(s.stats().global_read_txns, 0);
+        assert_eq!(s.stats().global_load_instrs, 0);
+    }
+
+    #[test]
+    fn atomics_dedupe_addresses() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            ctx.atomic_rmw(&[8, 8, 8, 16]);
+        });
+        assert_eq!(s.stats().atomic_txns, 2);
+        assert_eq!(s.stats().atomic_bytes, 64);
+    }
+
+    #[test]
+    fn texture_reads_hit_per_sm_cache() {
+        let mut s = sim();
+        // Two blocks land on different SMs (round-robin), so the same
+        // address misses twice; within a block the second read hits.
+        s.launch(2, 32, |_, ctx| {
+            ctx.tex_read(&[0x100]);
+            ctx.tex_read(&[0x100]);
+        });
+        assert_eq!(s.stats().tex_misses, 2);
+        assert_eq!(s.stats().tex_hits, 2);
+        assert_eq!(s.stats().tex_fill_bytes, 2 * 32);
+    }
+
+    #[test]
+    fn blocks_on_same_sm_share_cache() {
+        let mut s = sim();
+        // 14 SMs on the C2070: blocks 0 and 14 run on SM 0 sequentially.
+        s.launch(15, 32, |b, ctx| {
+            if b == 0 || b == 14 {
+                ctx.tex_read(&[0x100]);
+            }
+        });
+        assert_eq!(s.stats().tex_misses, 1);
+        assert_eq!(s.stats().tex_hits, 1);
+    }
+
+    #[test]
+    fn op_counters_accumulate() {
+        let mut s = sim();
+        s.launch(3, 64, |_, ctx| {
+            ctx.flops(10);
+            ctx.int_ops(7);
+            ctx.warp_ops(2);
+        });
+        assert_eq!(s.stats().flops, 30);
+        assert_eq!(s.stats().int_ops, 21);
+        assert_eq!(s.stats().warp_ops, 6);
+        assert_eq!(s.stats().blocks_launched, 3);
+        assert_eq!(s.stats().warps_launched, 6);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| ctx.flops(1));
+        assert_eq!(s.launches(), 1);
+        s.reset_stats();
+        assert_eq!(s.launches(), 0);
+        assert_eq!(s.stats().flops, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim();
+            s.launch(37, 256, |b, ctx| {
+                let addrs: Vec<u64> = (0..32).map(|i| (b as u64 * 37 + i * 8) % 4096).collect();
+                ctx.global_read(&addrs, 8);
+                ctx.tex_read(&addrs);
+                ctx.flops(b as u64);
+            });
+            s.stats().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_block_launch_is_a_noop() {
+        let mut s = sim();
+        let outs: Vec<u32> = s.launch(0, 32, |_, _| 0);
+        assert!(outs.is_empty());
+        assert_eq!(s.stats().blocks_launched, 0);
+        assert_eq!(s.launches(), 1);
+    }
+
+    #[test]
+    fn results_independent_of_thread_pool_size() {
+        // SM-major scheduling makes results and stats deterministic no
+        // matter how rayon slices the SM loop.
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut s = sim();
+                let outs = s.launch(53, 128, |b, ctx| {
+                    let addrs: Vec<u64> = (0..32).map(|i| (b as u64 * 13 + i) * 32 % 8192).collect();
+                    ctx.tex_read(&addrs);
+                    ctx.global_read(&addrs, 4);
+                    b * 3
+                });
+                (outs, s.stats().clone())
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn constant_charge_once() {
+        let mut s = sim();
+        s.charge_constant(512);
+        assert_eq!(s.stats().const_bytes, 512);
+        assert_eq!(s.stats().dram_bytes(), 512);
+    }
+}

@@ -1,0 +1,155 @@
+//! Execution statistics gathered during a simulated kernel launch.
+
+/// Counters accumulated by one SM (and merged across SMs at launch end).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Warp-level global load instructions issued.
+    pub global_load_instrs: u64,
+    /// Global memory read transactions after coalescing.
+    pub global_read_txns: u64,
+    /// Bytes read from DRAM by global loads (transactions × segment size).
+    pub global_read_bytes: u64,
+    /// Warp-level global store instructions issued.
+    pub global_store_instrs: u64,
+    /// Global memory write transactions after coalescing.
+    pub global_write_txns: u64,
+    /// Bytes written to DRAM.
+    pub global_write_bytes: u64,
+    /// Atomic read-modify-write transactions (each touches DRAM/L2 once).
+    pub atomic_txns: u64,
+    /// Bytes moved by atomics.
+    pub atomic_bytes: u64,
+    /// Texture (read-only path) accesses.
+    pub tex_accesses: u64,
+    /// Texture cache hits.
+    pub tex_hits: u64,
+    /// Texture cache misses.
+    pub tex_misses: u64,
+    /// Bytes fetched from DRAM on texture misses (line granularity).
+    pub tex_fill_bytes: u64,
+    /// Bytes of constant-memory working set touched (charged once).
+    pub const_bytes: u64,
+    /// Useful floating-point operations (multiply and add counted
+    /// separately, so one FMA = 2).
+    pub flops: u64,
+    /// Integer / shift / control operations, mostly decompression work.
+    pub int_ops: u64,
+    /// Warp-synchronous operations (shuffles, scan steps, reduction steps).
+    pub warp_ops: u64,
+    /// Total warps executed.
+    pub warps_launched: u64,
+    /// Thread blocks executed.
+    pub blocks_launched: u64,
+}
+
+impl LaunchStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.global_load_instrs += other.global_load_instrs;
+        self.global_read_txns += other.global_read_txns;
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_store_instrs += other.global_store_instrs;
+        self.global_write_txns += other.global_write_txns;
+        self.global_write_bytes += other.global_write_bytes;
+        self.atomic_txns += other.atomic_txns;
+        self.atomic_bytes += other.atomic_bytes;
+        self.tex_accesses += other.tex_accesses;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.tex_fill_bytes += other.tex_fill_bytes;
+        self.const_bytes += other.const_bytes;
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.warp_ops += other.warp_ops;
+        self.warps_launched += other.warps_launched;
+        self.blocks_launched += other.blocks_launched;
+    }
+
+    /// Total DRAM traffic in bytes: coalesced global reads and writes,
+    /// atomics, texture misses, plus the (small) constant working set.
+    pub fn dram_bytes(&self) -> u64 {
+        self.global_read_bytes
+            + self.global_write_bytes
+            + self.atomic_bytes
+            + self.tex_fill_bytes
+            + self.const_bytes
+    }
+
+    /// Texture hit rate in `[0, 1]`.
+    pub fn tex_hit_rate(&self) -> f64 {
+        if self.tex_accesses == 0 {
+            0.0
+        } else {
+            self.tex_hits as f64 / self.tex_accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LaunchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads {:.2} MB ({} txns), writes {:.2} MB, atomics {}, tex {:.0}% hit \
+             ({:.2} MB fills), {} Mflop, {} Mint, {} warps / {} blocks",
+            self.global_read_bytes as f64 / 1e6,
+            self.global_read_txns,
+            self.global_write_bytes as f64 / 1e6,
+            self.atomic_txns,
+            self.tex_hit_rate() * 100.0,
+            self.tex_fill_bytes as f64 / 1e6,
+            self.flops / 1_000_000,
+            self.int_ops / 1_000_000,
+            self.warps_launched,
+            self.blocks_launched,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = LaunchStats { global_read_bytes: 100, flops: 5, ..Default::default() };
+        let b = LaunchStats { global_read_bytes: 28, tex_misses: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.global_read_bytes, 128);
+        assert_eq!(a.tex_misses, 3);
+        assert_eq!(a.flops, 5);
+    }
+
+    #[test]
+    fn dram_bytes_sums_sources() {
+        let s = LaunchStats {
+            global_read_bytes: 10,
+            global_write_bytes: 20,
+            atomic_bytes: 5,
+            tex_fill_bytes: 7,
+            const_bytes: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.dram_bytes(), 43);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = LaunchStats {
+            global_read_bytes: 2_000_000,
+            tex_accesses: 10,
+            tex_hits: 9,
+            blocks_launched: 5,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("2.00 MB"));
+        assert!(text.contains("90% hit"));
+    }
+
+    #[test]
+    fn tex_hit_rate_handles_zero() {
+        assert_eq!(LaunchStats::default().tex_hit_rate(), 0.0);
+        let s = LaunchStats { tex_accesses: 4, tex_hits: 3, ..Default::default() };
+        assert!((s.tex_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the simulator's accounting invariants.
+
+use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport, SetAssocCache};
+use proptest::prelude::*;
+
+proptest! {
+    /// Coalescing never produces more transactions than active lanes (for
+    /// elements that fit in one segment) nor fewer than the minimum needed
+    /// to cover the bytes.
+    #[test]
+    fn coalescing_bounds(addrs in prop::collection::vec(0u64..1_000_000, 1..32)) {
+        let mut sim = DeviceSim::new(DeviceProfile::tesla_c2070());
+        let a = addrs.clone();
+        sim.launch(1, 32, move |_, ctx| {
+            ctx.global_read(&a, 4);
+        });
+        let txns = sim.stats().global_read_txns;
+        prop_assert!(txns >= 1);
+        // 4-byte elements can straddle at most 2 segments each.
+        prop_assert!(txns <= 2 * addrs.len() as u64);
+        prop_assert_eq!(sim.stats().global_read_bytes, txns * 128);
+    }
+
+    /// A fully coalesced unit-stride warp read is exactly
+    /// ceil(span / txn_bytes) transactions when aligned.
+    #[test]
+    fn unit_stride_transactions(base_seg in 0u64..1000, lanes in 1usize..=32) {
+        let base = base_seg * 128;
+        let addrs: Vec<u64> = (0..lanes as u64).map(|i| base + i * 4).collect();
+        let mut sim = DeviceSim::new(DeviceProfile::tesla_k20());
+        let a = addrs.clone();
+        sim.launch(1, 32, move |_, ctx| ctx.global_read(&a, 4));
+        let span = lanes * 4;
+        prop_assert_eq!(sim.stats().global_read_txns, span.div_ceil(128) as u64);
+    }
+
+    /// Cache hits + misses equals accesses; hit rate is within [0, 1].
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut c = SetAssocCache::new(4096, 32, 4);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!(c.hit_rate() >= 0.0 && c.hit_rate() <= 1.0);
+    }
+
+    /// Repeating an access sequence entirely within capacity yields 100%
+    /// hits the second time.
+    #[test]
+    fn cache_residency(seed in 0u64..1000) {
+        let mut c = SetAssocCache::new(8192, 32, 4);
+        // A working set of 64 lines (2 KiB) in an 8 KiB cache.
+        let addrs: Vec<u64> = (0..64u64).map(|i| (seed + i) * 32).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        let h0 = c.hits();
+        for &a in &addrs {
+            prop_assert!(c.access(a));
+        }
+        prop_assert_eq!(c.hits() - h0, 64);
+    }
+
+    /// Timing monotonicity: more bytes never makes a kernel faster, and
+    /// more int ops never makes it faster.
+    #[test]
+    fn report_monotonicity(
+        bytes in 1u64..10_000_000,
+        extra in 1u64..10_000_000,
+        ops in 0u64..1_000_000,
+    ) {
+        use bro_gpu_sim::LaunchStats;
+        let p = DeviceProfile::gtx680();
+        let mk = |b: u64, o: u64| LaunchStats {
+            global_read_bytes: b,
+            int_ops: o,
+            blocks_launched: 1000,
+            warps_launched: 8000,
+            ..Default::default()
+        };
+        let r1 = KernelReport::compute(&p, &mk(bytes, ops), 1, 1000, 8);
+        let r2 = KernelReport::compute(&p, &mk(bytes + extra, ops), 1, 1000, 8);
+        let r3 = KernelReport::compute(&p, &mk(bytes, ops + extra), 1, 1000, 8);
+        prop_assert!(r2.time_s >= r1.time_s);
+        prop_assert!(r3.time_s >= r1.time_s);
+    }
+
+    /// Launch outputs preserve block order regardless of SM scheduling.
+    #[test]
+    fn launch_output_order(blocks in 1usize..200) {
+        let mut sim = DeviceSim::new(DeviceProfile::tesla_k20());
+        let outs = sim.launch(blocks, 64, |b, _| b);
+        prop_assert_eq!(outs, (0..blocks).collect::<Vec<_>>());
+    }
+}

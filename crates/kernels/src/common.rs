@@ -1,0 +1,90 @@
+//! Shared helpers for the simulated kernels.
+
+use bro_gpu_sim::BufferAddr;
+use bro_matrix::Scalar;
+
+/// Reusable per-warp address buffer: collect the byte addresses of a warp
+/// instruction's active lanes without reallocating.
+#[derive(Debug, Default)]
+pub struct AddrBatch {
+    addrs: Vec<u64>,
+}
+
+impl AddrBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        AddrBatch { addrs: Vec::with_capacity(32) }
+    }
+
+    /// Clears the batch for the next warp instruction.
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+    }
+
+    /// Adds the address of element `i` of `buf`.
+    pub fn push(&mut self, buf: BufferAddr, i: usize) {
+        self.addrs.push(buf.addr(i));
+    }
+
+    /// The collected addresses.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Whether any lane is active.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// Assembles a dense `y` vector from per-block row-contiguous outputs (each
+/// block owns rows `block · h .. block · h + chunk.len()`).
+pub fn assemble_rows<T: Scalar>(rows: usize, h: usize, chunks: Vec<Vec<T>>) -> Vec<T> {
+    let mut y = vec![T::ZERO; rows];
+    for (b, chunk) in chunks.into_iter().enumerate() {
+        let start = b * h;
+        y[start..start + chunk.len()].copy_from_slice(&chunk);
+    }
+    y
+}
+
+/// Scatters additive updates `(row, value)` into a dense `y` vector; used by
+/// the COO-family kernels whose intervals may straddle row boundaries.
+pub fn apply_updates<T: Scalar>(y: &mut [T], updates: impl IntoIterator<Item = (u32, T)>) {
+    for (r, v) in updates {
+        y[r as usize] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_gpu_sim::AddrSpace;
+
+    #[test]
+    fn addr_batch_collects() {
+        let mut sp = AddrSpace::new();
+        let buf = sp.alloc(10, 4);
+        let mut b = AddrBatch::new();
+        assert!(b.is_empty());
+        b.push(buf, 0);
+        b.push(buf, 2);
+        assert_eq!(b.addrs().len(), 2);
+        assert_eq!(b.addrs()[1] - b.addrs()[0], 8);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn assemble_rows_places_chunks() {
+        let y = assemble_rows::<f64>(5, 2, vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0]]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn apply_updates_accumulates() {
+        let mut y = vec![0.0f64; 3];
+        apply_updates(&mut y, vec![(0, 1.0), (2, 2.0), (0, 3.0)]);
+        assert_eq!(y, vec![4.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Format auto-selection — the library-level feature the paper's related
+//! work (clSpMV's "cocktail" framework) motivates: given a matrix and a
+//! target device, simulate every candidate format once and recommend the
+//! fastest.
+//!
+//! Because the simulator is deterministic and cheap relative to a real
+//! device sweep, the tuner simply measures every candidate end to end,
+//! skipping ELLPACK-family candidates whose padding would explode memory.
+
+use bro_core::{
+    BroCoo, BroCooConfig, BroEll, BroEllConfig, BroEllR, BroHyb, BroHybConfig,
+};
+use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport};
+use bro_matrix::{CooMatrix, CsrMatrix, EllMatrix, EllRMatrix, HybMatrix, Scalar};
+
+use crate::{
+    bro_coo_spmv, bro_ell_spmv, bro_ellr_spmv, bro_hyb_spmv, coo_spmv, csr_vector_spmv,
+    ell_spmv, ellr_spmv, hyb_spmv,
+};
+
+/// The formats the tuner considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatChoice {
+    /// Coordinate format with segmented reduction.
+    Coo,
+    /// CSR, one warp per row.
+    CsrVector,
+    /// ELLPACK.
+    Ell,
+    /// ELLPACK-R.
+    EllR,
+    /// Hybrid ELL + COO.
+    Hyb,
+    /// Bit-representation-optimized ELLPACK.
+    BroEll,
+    /// BRO-ELL with per-row lengths.
+    BroEllR,
+    /// Bit-representation-optimized COO.
+    BroCoo,
+    /// Hybrid BRO-ELL + BRO-COO.
+    BroHyb,
+}
+
+impl std::fmt::Display for FormatChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FormatChoice::Coo => "COO",
+            FormatChoice::CsrVector => "CSR-vector",
+            FormatChoice::Ell => "ELLPACK",
+            FormatChoice::EllR => "ELLPACK-R",
+            FormatChoice::Hyb => "HYB",
+            FormatChoice::BroEll => "BRO-ELL",
+            FormatChoice::BroEllR => "BRO-ELL-R",
+            FormatChoice::BroCoo => "BRO-COO",
+            FormatChoice::BroHyb => "BRO-HYB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One measured candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Which format.
+    pub format: FormatChoice,
+    /// Estimated GFLOP/s on the target device.
+    pub gflops: f64,
+    /// Total DRAM bytes per SpMV.
+    pub dram_bytes: u64,
+}
+
+/// The tuner's verdict.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The fastest format.
+    pub best: FormatChoice,
+    /// All measured candidates, fastest first.
+    pub candidates: Vec<Candidate>,
+    /// Candidates skipped with the reason.
+    pub skipped: Vec<(FormatChoice, String)>,
+}
+
+/// Padding-blowup limit: ELLPACK-family formats are skipped when the padded
+/// slot count exceeds this multiple of nnz.
+pub const MAX_ELL_BLOWUP: f64 = 8.0;
+
+/// Measures every viable format for `a` on `profile` and recommends the
+/// fastest. `x` supplies the access pattern (use a representative input).
+pub fn recommend_format<T: Scalar>(
+    a: &CooMatrix<T>,
+    x: &[T],
+    profile: &DeviceProfile,
+) -> TuneReport {
+    assert_eq!(x.len(), a.cols(), "x length must match matrix columns");
+    let flops = 2 * a.nnz() as u64;
+    let mut candidates = Vec::new();
+    let mut skipped = Vec::new();
+
+    let mut run = |format: FormatChoice, f: &mut dyn FnMut(&mut DeviceSim) -> Vec<T>| {
+        let mut sim = DeviceSim::new(profile.clone());
+        let y = f(&mut sim);
+        std::hint::black_box(&y);
+        let r = KernelReport::from_device(&sim, flops, T::BYTES);
+        candidates.push(Candidate { format, gflops: r.gflops, dram_bytes: r.dram_bytes });
+    };
+
+    // COO-family and CSR candidates always apply.
+    run(FormatChoice::Coo, &mut |s| coo_spmv(s, a, x));
+    let csr = CsrMatrix::from_coo(a);
+    run(FormatChoice::CsrVector, &mut |s| csr_vector_spmv(s, &csr, x));
+    let bro_coo: BroCoo<T> = BroCoo::compress(a, &BroCooConfig::default());
+    run(FormatChoice::BroCoo, &mut |s| bro_coo_spmv(s, &bro_coo, x));
+
+    // HYB-family candidates always apply.
+    let hyb = HybMatrix::from_coo(a);
+    run(FormatChoice::Hyb, &mut |s| hyb_spmv(s, &hyb, x));
+    let bro_hyb: BroHyb<T> = BroHyb::from_coo(
+        a,
+        &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() },
+    );
+    run(FormatChoice::BroHyb, &mut |s| bro_hyb_spmv(s, &bro_hyb, x));
+
+    // ELLPACK-family candidates only when padding stays sane.
+    let stats = a.stats();
+    let padded = stats.rows * stats.max_row_len;
+    if a.nnz() == 0 || padded as f64 <= MAX_ELL_BLOWUP * a.nnz() as f64 {
+        let ell = EllMatrix::from_coo(a);
+        run(FormatChoice::Ell, &mut |s| ell_spmv(s, &ell, x));
+        let ellr = EllRMatrix::from_coo(a);
+        run(FormatChoice::EllR, &mut |s| ellr_spmv(s, &ellr, x));
+        let bro: BroEll<T> = BroEll::compress(&ell, &BroEllConfig::default());
+        run(FormatChoice::BroEll, &mut |s| bro_ell_spmv(s, &bro, x));
+        let bror: BroEllR<T> = BroEllR::from_coo(a, &BroEllConfig::default());
+        run(FormatChoice::BroEllR, &mut |s| bro_ellr_spmv(s, &bror, x));
+    } else {
+        let reason = format!(
+            "padding blowup {:.1}x exceeds limit {MAX_ELL_BLOWUP}x",
+            padded as f64 / a.nnz() as f64
+        );
+        for f in
+            [FormatChoice::Ell, FormatChoice::EllR, FormatChoice::BroEll, FormatChoice::BroEllR]
+        {
+            skipped.push((f, reason.clone()));
+        }
+    }
+
+    candidates.sort_by(|a, b| b.gflops.total_cmp(&a.gflops));
+    TuneReport { best: candidates[0].format, candidates, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_matrix::suite;
+
+    fn x_for(a: &CooMatrix<f64>) -> Vec<f64> {
+        (0..a.cols()).map(|i| 1.0 + (i % 4) as f64 * 0.5).collect()
+    }
+
+    #[test]
+    fn fem_matrix_prefers_a_bro_format() {
+        // Large enough that one-thread-per-row kernels fill the device
+        // (tiny matrices legitimately tune to CSR-vector or COO, which put
+        // a warp on every row).
+        let a: CooMatrix<f64> = suite::by_name("consph").unwrap().spec(0.12).generate();
+        let x = x_for(&a);
+        let report = recommend_format(&a, &x, &DeviceProfile::tesla_c2070());
+        assert!(
+            matches!(
+                report.best,
+                FormatChoice::BroEll | FormatChoice::BroEllR | FormatChoice::BroHyb
+            ),
+            "best = {} of {:?}",
+            report.best,
+            report.candidates.iter().map(|c| (c.format, c.gflops)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn extreme_skew_skips_ellpack_family() {
+        // One full row + a diagonal: padding blowup is ~n/2.
+        let n = 4096;
+        let mut r: Vec<usize> = (0..n).collect();
+        let mut c: Vec<usize> = (0..n).collect();
+        for j in 0..n {
+            if j != 0 {
+                r.push(0);
+                c.push(j);
+            }
+        }
+        let mut trips: Vec<(usize, usize)> = r.into_iter().zip(c).collect();
+        trips.sort_unstable();
+        trips.dedup();
+        let (r, c): (Vec<_>, Vec<_>) = trips.into_iter().unzip();
+        let a = CooMatrix::from_triplets(n, n, &r, &c, &vec![1.0; r.len()]).unwrap();
+        let report = recommend_format(&a, &vec![1.0; n], &DeviceProfile::tesla_k20());
+        assert_eq!(report.skipped.len(), 4);
+        assert!(report
+            .candidates
+            .iter()
+            .all(|cand| !matches!(cand.format, FormatChoice::Ell | FormatChoice::BroEll)));
+    }
+
+    #[test]
+    fn candidates_sorted_descending() {
+        let a: CooMatrix<f64> = suite::by_name("epb3").unwrap().spec(0.01).generate();
+        let x = x_for(&a);
+        let report = recommend_format(&a, &x, &DeviceProfile::gtx680());
+        for w in report.candidates.windows(2) {
+            assert!(w[0].gflops >= w[1].gflops);
+        }
+        assert_eq!(report.best, report.candidates[0].format);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FormatChoice::BroEll.to_string(), "BRO-ELL");
+        assert_eq!(FormatChoice::CsrVector.to_string(), "CSR-vector");
+    }
+}

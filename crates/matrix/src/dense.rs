@@ -1,0 +1,109 @@
+//! Dense matrix helper.
+//!
+//! The Fig. 3 experiment of the paper uses a *dense* matrix stored in sparse
+//! formats "in order to avoid variations in performance due to cache effects
+//! when reading the x vector" while the compression ratio is varied
+//! artificially.
+
+use crate::coo::CooMatrix;
+use crate::scalar::Scalar;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// A matrix filled with a single value.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        DenseMatrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds from a generator function `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> T {
+        self.data[r * self.cols + c]
+    }
+
+    /// Converts to COO, storing every element (including exact zeros —
+    /// the Fig. 3 experiment wants a fully dense sparse structure).
+    pub fn to_coo_full(&self) -> CooMatrix<T> {
+        let mut row_idx = Vec::with_capacity(self.rows * self.cols);
+        let mut col_idx = Vec::with_capacity(self.rows * self.cols);
+        let mut vals = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                row_idx.push(r as u32);
+                col_idx.push(c as u32);
+                vals.push(self.at(r, c));
+            }
+        }
+        CooMatrix::from_sorted_parts(self.rows, self.cols, row_idx, col_idx, vals)
+    }
+
+    /// Dense mat-vec product.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut sum = T::ZERO;
+                for c in 0..self.cols {
+                    sum = self.at(r, c).mul_add(x[c], sum);
+                }
+                sum
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_access() {
+        let d = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(d.at(1, 2), 12.0);
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.cols(), 3);
+    }
+
+    #[test]
+    fn to_coo_full_keeps_every_slot() {
+        let d = DenseMatrix::filled(3, 4, 1.0);
+        let coo = d.to_coo_full();
+        assert_eq!(coo.nnz(), 12);
+        assert_eq!(coo.stats().std_row_len, 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_coo_reference() {
+        let d = DenseMatrix::from_fn(3, 3, |r, c| (r + c) as f64 + 1.0);
+        let x = vec![1.0, -1.0, 2.0];
+        assert_eq!(d.matvec(&x), d.to_coo_full().spmv_reference(&x).unwrap());
+    }
+}

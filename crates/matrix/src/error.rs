@@ -1,0 +1,102 @@
+//! Error type shared across the matrix crate.
+
+/// Errors produced while constructing, converting or parsing matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// An entry's row or column index is outside the declared shape.
+    IndexOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Triplet arrays have inconsistent lengths.
+    LengthMismatch {
+        /// Length of the row-index array.
+        rows: usize,
+        /// Length of the column-index array.
+        cols: usize,
+        /// Length of the values array.
+        vals: usize,
+    },
+    /// The same (row, col) position appears more than once.
+    DuplicateEntry {
+        /// The duplicated row index.
+        row: usize,
+        /// The duplicated column index.
+        col: usize,
+    },
+    /// Operand shapes are incompatible (e.g. SpMV with a wrong-length vector).
+    ShapeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// A MatrixMarket file could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An IO failure while reading or writing a file.
+    Io(String),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) outside {rows}x{cols} matrix")
+            }
+            MatrixError::LengthMismatch { rows, cols, vals } => {
+                write!(f, "triplet arrays disagree: {rows} rows, {cols} cols, {vals} vals")
+            }
+            MatrixError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            MatrixError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            MatrixError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            MatrixError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MatrixError::IndexOutOfBounds { row: 5, col: 6, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = MatrixError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = MatrixError::Io("gone".into());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: MatrixError = io.into();
+        assert!(matches!(e, MatrixError::Io(_)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # bro-matrix
+//!
+//! Sparse matrix substrate for the BRO-SpMV reproduction: classical storage
+//! formats, statistics, IO, permutations, and the synthetic matrix suite
+//! standing in for the University of Florida collection used in the paper.
+//!
+//! ## Formats
+//!
+//! * [`CooMatrix`] — coordinate format (row, col, val triplets), the
+//!   canonical interchange format. Kept sorted row-major.
+//! * [`CsrMatrix`] — compressed sparse row; hosts the CPU reference SpMV.
+//! * [`EllMatrix`] — ELLPACK-ITPACK: dense `m × k` column-index and value
+//!   arrays stored column-major, padded with an invalid marker.
+//! * [`EllRMatrix`] — ELLPACK-R: ELLPACK plus a `row_length` array.
+//! * [`HybMatrix`] — hybrid ELL + COO split using the Bell–Garland
+//!   one-third heuristic.
+//! * [`DenseMatrix`] — small dense helper used by the Fig. 3 experiment.
+//!
+//! ## Generators
+//!
+//! [`generate`] builds deterministic synthetic matrices from a
+//! [`generate::GeneratorSpec`]; [`suite`] registers one spec per matrix of
+//! the paper's Table 2, matched to the published dimensions, nnz, μ and σ.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod ell;
+pub mod ellr;
+pub mod error;
+pub mod generate;
+pub mod hyb;
+pub mod io;
+pub mod permute;
+pub mod scalar;
+pub mod sliced_ell;
+pub mod stats;
+pub mod suite;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use ell::{EllMatrix, INVALID_INDEX};
+pub use ellr::EllRMatrix;
+pub use error::MatrixError;
+pub use hyb::HybMatrix;
+pub use permute::Permutation;
+pub use scalar::Scalar;
+pub use sliced_ell::SlicedEllMatrix;
+pub use stats::MatrixStats;

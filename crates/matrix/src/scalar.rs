@@ -1,0 +1,146 @@
+//! Floating-point scalar abstraction.
+//!
+//! The paper evaluates double-precision SpMV, but single precision is also
+//! interesting on consumer devices (the GTX680 has weak DP throughput).
+//! Every format and kernel in this workspace is generic over [`Scalar`].
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar usable as a matrix/vector element.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Storage size in bytes — drives the simulator's traffic accounting.
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b` (semantically; may not use the FMA
+    /// instruction).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($ty:ty, $bytes:expr) => {
+        impl Scalar for $ty {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: usize = $bytes;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $ty
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn abs(self) -> Self {
+                <$ty>::abs(self)
+            }
+
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$ty>::sqrt(self)
+            }
+
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self * a + b
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, 4);
+impl_scalar!(f64, 8);
+
+/// Relative comparison helper used throughout the test suites: `a ≈ b` with
+/// tolerance scaled by magnitude.
+pub fn approx_eq<T: Scalar>(a: T, b: T, rel_tol: f64) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel_tol * scale
+}
+
+/// Asserts that two vectors are element-wise approximately equal.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first mismatching element.
+pub fn assert_vec_approx_eq<T: Scalar>(a: &[T], b: &[T], rel_tol: f64) {
+    assert_eq!(a.len(), b.len(), "vector length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            approx_eq(x, y, rel_tol),
+            "vectors differ at index {i}: {:?} vs {:?}",
+            x,
+            y
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f32 as Scalar>::ONE, 1.0);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(<f32 as Scalar>::from_f64(1.5), 1.5f32);
+        assert_eq!(2.5f64.to_f64(), 2.5);
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ at index 1")]
+    fn assert_vec_mismatch_panics() {
+        assert_vec_approx_eq(&[1.0, 2.0], &[1.0, 3.0], 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Matrix shape and row-length statistics (the columns of Table 2).
+
+/// Summary statistics of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Mean row length (μ in the paper).
+    pub mean_row_len: f64,
+    /// Standard deviation of row lengths (σ in the paper, population form).
+    pub std_row_len: f64,
+    /// Maximum row length (the ELLPACK width k).
+    pub max_row_len: usize,
+    /// Minimum row length.
+    pub min_row_len: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics from a row-length histogram.
+    pub fn from_row_lengths(rows: usize, cols: usize, lengths: &[u32]) -> Self {
+        assert_eq!(lengths.len(), rows, "one length per row required");
+        let nnz: usize = lengths.iter().map(|&l| l as usize).sum();
+        if rows == 0 {
+            return MatrixStats {
+                rows,
+                cols,
+                nnz,
+                mean_row_len: 0.0,
+                std_row_len: 0.0,
+                max_row_len: 0,
+                min_row_len: 0,
+            };
+        }
+        let mean = nnz as f64 / rows as f64;
+        let var = lengths
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / rows as f64;
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            mean_row_len: mean,
+            std_row_len: var.sqrt(),
+            max_row_len: lengths.iter().copied().max().unwrap_or(0) as usize,
+            min_row_len: lengths.iter().copied().min().unwrap_or(0) as usize,
+        }
+    }
+
+    /// ELLPACK storage in bytes for this shape: `2 · m · k` entries with
+    /// 4-byte indices and `val_bytes`-byte values.
+    pub fn ellpack_bytes(&self, val_bytes: usize) -> usize {
+        self.rows * self.max_row_len * (4 + val_bytes)
+    }
+
+    /// Fraction of the ELLPACK array that is padding.
+    pub fn padding_fraction(&self) -> f64 {
+        let total = self.rows * self.max_row_len;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}, nnz={}, mu={:.1}, sigma={:.1}, k={}",
+            self.rows, self.cols, self.nnz, self.mean_row_len, self.std_row_len, self.max_row_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_stats() {
+        // Matrix A of the paper: row lengths [2, 5, 3, 2].
+        let s = MatrixStats::from_row_lengths(4, 5, &[2, 5, 3, 2]);
+        assert_eq!(s.nnz, 12);
+        assert_eq!(s.mean_row_len, 3.0);
+        assert_eq!(s.max_row_len, 5);
+        assert_eq!(s.min_row_len, 2);
+        let expected_sigma = ((1.0 + 4.0 + 0.0 + 1.0) / 4.0f64).sqrt();
+        assert!((s.std_row_len - expected_sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_rows_have_zero_sigma() {
+        let s = MatrixStats::from_row_lengths(3, 10, &[4, 4, 4]);
+        assert_eq!(s.std_row_len, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = MatrixStats::from_row_lengths(0, 0, &[]);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.mean_row_len, 0.0);
+    }
+
+    #[test]
+    fn ellpack_bytes_and_padding() {
+        let s = MatrixStats::from_row_lengths(4, 5, &[2, 5, 3, 2]);
+        // k = 5: 4 rows x 5 slots x (4 + 8) bytes.
+        assert_eq!(s.ellpack_bytes(8), 4 * 5 * 12);
+        assert!((s.padding_fraction() - (1.0 - 12.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        let s = MatrixStats::from_row_lengths(2, 3, &[1, 2]);
+        assert!(s.to_string().contains("2x3"));
+    }
+}

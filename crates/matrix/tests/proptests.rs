@@ -1,0 +1,114 @@
+//! Property-based tests: format conversion round-trips and SpMV equivalence
+//! on arbitrary sparse matrices.
+
+use bro_matrix::{
+    scalar::assert_vec_approx_eq, CooMatrix, CsrMatrix, EllMatrix, EllRMatrix, HybMatrix,
+    Permutation,
+};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small COO matrix together with a
+/// compatible x vector.
+fn coo_and_x() -> impl Strategy<Value = (CooMatrix<f64>, Vec<f64>)> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -10.0f64..10.0);
+        (
+            prop::collection::vec(entry, 0..(rows * cols).min(120)),
+            prop::collection::vec(-5.0f64..5.0, cols),
+        )
+            .prop_map(move |(mut trips, x)| {
+                // Deduplicate positions, keeping the first value.
+                trips.sort_by_key(|&(r, c, _)| (r, c));
+                trips.dedup_by_key(|&mut (r, c, _)| (r, c));
+                let (ri, (ci, vs)): (Vec<_>, (Vec<_>, Vec<_>)) =
+                    trips.into_iter().map(|(r, c, v)| (r, (c, v))).unzip();
+                (CooMatrix::from_triplets(rows, cols, &ri, &ci, &vs).unwrap(), x)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trip((coo, _x) in coo_and_x()) {
+        prop_assert_eq!(CsrMatrix::from_coo(&coo).to_coo(), coo);
+    }
+
+    #[test]
+    fn ell_round_trip((coo, _x) in coo_and_x()) {
+        prop_assert_eq!(EllMatrix::from_coo(&coo).to_coo(), coo);
+    }
+
+    #[test]
+    fn ellr_round_trip((coo, _x) in coo_and_x()) {
+        prop_assert_eq!(EllRMatrix::from_coo(&coo).to_coo(), coo);
+    }
+
+    #[test]
+    fn hyb_round_trip((coo, _x) in coo_and_x()) {
+        prop_assert_eq!(HybMatrix::from_coo(&coo).to_coo(), coo);
+    }
+
+    #[test]
+    fn csr_spmv_matches_reference((coo, x) in coo_and_x()) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let expect = coo.spmv_reference(&x).unwrap();
+        assert_vec_approx_eq(&csr.spmv(&x).unwrap(), &expect, 1e-12);
+        assert_vec_approx_eq(&csr.par_spmv(&x).unwrap(), &expect, 1e-12);
+    }
+
+    #[test]
+    fn hyb_parts_partition_nnz((coo, _x) in coo_and_x()) {
+        let hyb = HybMatrix::from_coo(&coo);
+        prop_assert_eq!(hyb.ell().nnz() + hyb.coo().nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn hyb_split_width_bounds((coo, _x) in coo_and_x()) {
+        let lens = coo.row_lengths();
+        let k = HybMatrix::<f64>::split_width(&lens);
+        let max = lens.iter().copied().max().unwrap_or(0) as usize;
+        prop_assert!(k <= max);
+    }
+
+    #[test]
+    fn permutation_commutes_with_spmv(
+        (coo, x) in coo_and_x(),
+        seed in any::<u64>(),
+    ) {
+        // Build a deterministic permutation of the rows from the seed.
+        let n = coo.rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_order(order).unwrap();
+        let y = coo.spmv_reference(&x).unwrap();
+        let y_perm = p.apply_rows(&coo).spmv_reference(&x).unwrap();
+        assert_vec_approx_eq(&y_perm, &p.apply_vec(&y), 1e-12);
+    }
+
+    #[test]
+    fn mm_io_round_trip((coo, _x) in coo_and_x()) {
+        let mut buf = Vec::new();
+        bro_matrix::io::write_matrix_market(&coo, &mut buf).unwrap();
+        let back: CooMatrix<f64> = bro_matrix::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(back.rows(), coo.rows());
+        prop_assert_eq!(back.nnz(), coo.nnz());
+        let back_vals: Vec<f64> = back.values().to_vec();
+        for (a, b) in back_vals.iter().zip(coo.values()) {
+            prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn stats_consistent((coo, _x) in coo_and_x()) {
+        let s = coo.stats();
+        prop_assert_eq!(s.nnz, coo.nnz());
+        prop_assert!(s.max_row_len >= s.min_row_len);
+        prop_assert!(s.mean_row_len <= s.max_row_len as f64 + 1e-12);
+        prop_assert!(s.mean_row_len >= s.min_row_len as f64 - 1e-12);
+    }
+}

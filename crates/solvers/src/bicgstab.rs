@@ -1,0 +1,152 @@
+//! BiCGSTAB for general (non-symmetric) systems — circuit and CFD matrices
+//! in the paper's suite are non-symmetric, where CG does not apply.
+
+use bro_matrix::Scalar;
+
+use crate::vecops::{axpy, dot, norm2};
+use crate::SolveStats;
+
+/// BiCGSTAB solver options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiCgStabOptions {
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions { max_iters: 1000, tol: 1e-10 }
+    }
+}
+
+/// Solves `A·x = b` for general `A` given as an operator.
+pub fn bicgstab<T: Scalar>(
+    mut apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &BiCgStabOptions,
+) -> (Vec<T>, SolveStats) {
+    let n = b.len();
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut stats = SolveStats { iterations: 0, residual: norm2(&r) / b_norm, converged: false };
+    if stats.residual <= opts.tol {
+        stats.converged = true;
+        return (x, stats);
+    }
+    let mut rho = T::ONE;
+    let mut alpha = T::ONE;
+    let mut omega = T::ONE;
+    let mut v = vec![T::ZERO; n];
+    let mut p = vec![T::ZERO; n];
+    for it in 1..=opts.max_iters {
+        let rho_new = dot(&r_hat, &r);
+        if rho_new.to_f64().abs() < f64::MIN_POSITIVE {
+            break; // breakdown
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        v = apply_a(&p);
+        let rhv = dot(&r_hat, &v);
+        if rhv.to_f64().abs() < f64::MIN_POSITIVE {
+            break;
+        }
+        alpha = rho_new / rhv;
+        // s = r - alpha v
+        let mut s = r.clone();
+        axpy(-alpha, &v, &mut s);
+        if norm2(&s) / b_norm <= opts.tol {
+            axpy(alpha, &p, &mut x);
+            stats.iterations = it;
+            stats.residual = norm2(&s) / b_norm;
+            stats.converged = true;
+            return (x, stats);
+        }
+        let t = apply_a(&s);
+        let tt = dot(&t, &t);
+        if tt.to_f64() <= 0.0 {
+            break;
+        }
+        omega = dot(&t, &s) / tt;
+        // x += alpha p + omega s
+        axpy(alpha, &p, &mut x);
+        axpy(omega, &s, &mut x);
+        // r = s - omega t
+        r = s;
+        axpy(-omega, &t, &mut r);
+        rho = rho_new;
+        stats.iterations = it;
+        stats.residual = norm2(&r) / b_norm;
+        if stats.residual <= opts.tol {
+            stats.converged = true;
+            break;
+        }
+        if omega.to_f64().abs() < f64::MIN_POSITIVE {
+            break;
+        }
+    }
+    (x, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_matrix::{CooMatrix, CsrMatrix};
+
+    /// A diagonally dominant non-symmetric matrix.
+    fn nonsym(n: usize) -> CsrMatrix<f64> {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..n {
+            r.push(i);
+            c.push(i);
+            v.push(8.0);
+            if i + 1 < n {
+                r.push(i);
+                c.push(i + 1);
+                v.push(-2.0);
+            }
+            if i >= 1 {
+                r.push(i);
+                c.push(i - 1);
+                v.push(-1.0); // asymmetric coupling
+            }
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(n, n, &r, &c, &v).unwrap())
+    }
+
+    #[test]
+    fn converges_on_nonsymmetric_system() {
+        let a = nonsym(200);
+        let b: Vec<f64> = (0..200).map(|i| ((i % 5) as f64) + 1.0).collect();
+        let (x, stats) = bicgstab(|v| a.spmv(v).unwrap(), &b, &BiCgStabOptions::default());
+        assert!(stats.converged, "residual {}", stats.residual);
+        let ax = a.spmv(&x).unwrap();
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(err < 1e-7, "‖Ax − b‖ = {err}");
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = nonsym(10);
+        let (x, stats) = bicgstab(|v| a.spmv(v).unwrap(), &vec![0.0; 10], &Default::default());
+        assert!(stats.converged);
+        assert_eq!(x, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let a = nonsym(300);
+        let b = vec![1.0; 300];
+        let opts = BiCgStabOptions { max_iters: 2, tol: 1e-15 };
+        let (_, stats) = bicgstab(|v| a.spmv(v).unwrap(), &b, &opts);
+        assert!(stats.iterations <= 2);
+    }
+}

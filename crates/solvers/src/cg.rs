@@ -1,0 +1,184 @@
+//! Conjugate Gradient for symmetric positive definite systems, plus a
+//! Jacobi-preconditioned variant.
+
+use bro_matrix::Scalar;
+
+use crate::vecops::{axpy, dot, norm2, xpby};
+use crate::SolveStats;
+
+/// CG solver options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { max_iters: 1000, tol: 1e-10 }
+    }
+}
+
+/// Solves `A·x = b` for SPD `A` given as an operator. Returns the solution
+/// and convergence statistics.
+pub fn cg<T: Scalar>(
+    mut apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &CgOptions,
+) -> (Vec<T>, SolveStats) {
+    let n = b.len();
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut rr = dot(&r, &r);
+    let mut stats = SolveStats { iterations: 0, residual: norm2(&r) / b_norm, converged: false };
+    if stats.residual <= opts.tol {
+        stats.converged = true;
+        return (x, stats);
+    }
+    for it in 1..=opts.max_iters {
+        let ap = apply_a(&p);
+        let pap = dot(&p, &ap);
+        if pap.to_f64() <= 0.0 {
+            // Not SPD (or breakdown): stop with the best iterate so far.
+            break;
+        }
+        let alpha = rr / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        stats.iterations = it;
+        stats.residual = rr_new.to_f64().sqrt() / b_norm;
+        if stats.residual <= opts.tol {
+            stats.converged = true;
+            break;
+        }
+        let beta = rr_new / rr;
+        rr = rr_new;
+        xpby(&r, beta, &mut p);
+    }
+    (x, stats)
+}
+
+/// Jacobi-preconditioned CG: `diag` holds the matrix diagonal.
+pub fn cg_jacobi<T: Scalar>(
+    mut apply_a: impl FnMut(&[T]) -> Vec<T>,
+    diag: &[T],
+    b: &[T],
+    opts: &CgOptions,
+) -> (Vec<T>, SolveStats) {
+    let n = b.len();
+    assert_eq!(diag.len(), n);
+    let inv_d: Vec<T> = diag
+        .iter()
+        .map(|&d| {
+            assert!(d.to_f64() != 0.0, "Jacobi preconditioner needs a nonzero diagonal");
+            T::ONE / d
+        })
+        .collect();
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<T> = r.iter().zip(&inv_d).map(|(&ri, &di)| ri * di).collect();
+    let mut p = z.clone();
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut rz = dot(&r, &z);
+    let mut stats = SolveStats { iterations: 0, residual: norm2(&r) / b_norm, converged: false };
+    if stats.residual <= opts.tol {
+        stats.converged = true;
+        return (x, stats);
+    }
+    for it in 1..=opts.max_iters {
+        let ap = apply_a(&p);
+        let pap = dot(&p, &ap);
+        if pap.to_f64() <= 0.0 {
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        stats.iterations = it;
+        stats.residual = norm2(&r) / b_norm;
+        if stats.residual <= opts.tol {
+            stats.converged = true;
+            break;
+        }
+        for (zi, (&ri, &di)) in z.iter_mut().zip(r.iter().zip(&inv_d)) {
+            *zi = ri * di;
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+    }
+    (x, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_matrix::generate::laplacian_2d;
+    use bro_matrix::CsrMatrix;
+
+    fn poisson_system(n: usize) -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = laplacian_2d::<f64>(n);
+        let csr = CsrMatrix::from_coo(&a);
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        (csr, b)
+    }
+
+    #[test]
+    fn cg_converges_on_poisson() {
+        let (a, b) = poisson_system(16);
+        let (x, stats) = cg(|v| a.spmv(v).unwrap(), &b, &CgOptions::default());
+        assert!(stats.converged, "residual {}", stats.residual);
+        // Verify the solution satisfies the system.
+        let ax = a.spmv(&x).unwrap();
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(err < 1e-7, "‖Ax − b‖ = {err}");
+    }
+
+    #[test]
+    fn jacobi_preconditioning_converges() {
+        let (a, b) = poisson_system(16);
+        let diag: Vec<f64> = (0..a.rows())
+            .map(|r| {
+                let (cols, vals) = a.row(r);
+                cols.iter().zip(vals).find(|(&c, _)| c as usize == r).map(|(_, &v)| v).unwrap()
+            })
+            .collect();
+        let (x, stats) = cg_jacobi(|v| a.spmv(v).unwrap(), &diag, &b, &CgOptions::default());
+        assert!(stats.converged);
+        let ax = a.spmv(&x).unwrap();
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(err < 1e-7);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let (a, _) = poisson_system(4);
+        let (x, stats) = cg(|v| a.spmv(v).unwrap(), &vec![0.0; 16], &CgOptions::default());
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(x, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let (a, b) = poisson_system(20);
+        let opts = CgOptions { max_iters: 3, tol: 1e-14 };
+        let (_, stats) = cg(|v| a.spmv(v).unwrap(), &b, &opts);
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 3);
+    }
+
+    #[test]
+    fn non_spd_breaks_down_gracefully() {
+        // -I is negative definite: pAp < 0 at the first step.
+        let neg = |v: &[f64]| v.iter().map(|&x| -x).collect::<Vec<_>>();
+        let (_, stats) = cg(neg, &[1.0, 2.0], &CgOptions::default());
+        assert!(!stats.converged);
+    }
+}

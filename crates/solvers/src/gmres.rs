@@ -1,0 +1,242 @@
+//! Restarted GMRES — together with CG, the iterative method the paper's
+//! introduction names as the driver of repeated SpMV ("solved using
+//! iterative algorithms such as the Conjugate Gradient (CG) and Generalized
+//! Minimum Residual (GMRES) methods").
+//!
+//! Standard Arnoldi process with modified Gram–Schmidt orthogonalization
+//! and Givens-rotation least squares, restarted every `restart` iterations.
+
+use bro_matrix::Scalar;
+
+use crate::vecops::{axpy, dot, norm2};
+use crate::SolveStats;
+
+/// GMRES(m) options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmresOptions {
+    /// Restart length m (Krylov subspace dimension per cycle).
+    pub restart: usize,
+    /// Maximum total iterations (SpMV applications).
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions { restart: 30, max_iters: 1000, tol: 1e-10 }
+    }
+}
+
+/// Solves `A·x = b` for a general square operator with restarted GMRES.
+pub fn gmres<T: Scalar>(
+    mut apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &GmresOptions,
+) -> (Vec<T>, SolveStats) {
+    let n = b.len();
+    let m = opts.restart.max(1);
+    let mut x = vec![T::ZERO; n];
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut total_iters = 0usize;
+    let mut stats = SolveStats { iterations: 0, residual: 1.0, converged: false };
+
+    'outer: while total_iters < opts.max_iters {
+        // r = b − A·x
+        let ax = apply_a(&x);
+        let mut r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+        let beta = norm2(&r);
+        stats.residual = beta / b_norm;
+        if stats.residual <= opts.tol {
+            stats.converged = true;
+            break;
+        }
+        let inv_beta = T::from_f64(1.0 / beta);
+        for ri in r.iter_mut() {
+            *ri *= inv_beta;
+        }
+
+        // Arnoldi basis and Hessenberg matrix (column-major, m+1 rows).
+        let mut basis: Vec<Vec<T>> = vec![r];
+        let mut h = vec![vec![T::ZERO; m + 1]; m]; // h[j][i]
+        // Givens rotations and the rotated RHS.
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+
+        let mut k_used = 0usize;
+        for j in 0..m {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            total_iters += 1;
+            stats.iterations = total_iters;
+
+            // Arnoldi step: w = A v_j, orthogonalized against the basis.
+            let mut w = apply_a(&basis[j]);
+            for (i, v) in basis.iter().enumerate() {
+                let hij = dot(v, &w);
+                h[j][i] = hij;
+                axpy(-hij, v, &mut w);
+            }
+            let w_norm = norm2(&w);
+            h[j][j + 1] = T::from_f64(w_norm);
+
+            // Apply previous Givens rotations to the new column.
+            for i in 0..j {
+                let (c, s) = (cs[i], sn[i]);
+                let hi = h[j][i].to_f64();
+                let hi1 = h[j][i + 1].to_f64();
+                h[j][i] = T::from_f64(c * hi + s * hi1);
+                h[j][i + 1] = T::from_f64(-s * hi + c * hi1);
+            }
+            // New rotation annihilating h[j][j+1].
+            let hjj = h[j][j].to_f64();
+            let hj1 = h[j][j + 1].to_f64();
+            let denom = (hjj * hjj + hj1 * hj1).sqrt().max(f64::MIN_POSITIVE);
+            cs[j] = hjj / denom;
+            sn[j] = hj1 / denom;
+            h[j][j] = T::from_f64(denom);
+            h[j][j + 1] = T::ZERO;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+            k_used = j + 1;
+
+            stats.residual = g[j + 1].abs() / b_norm;
+            if stats.residual <= opts.tol {
+                stats.converged = true;
+                break;
+            }
+            if w_norm <= f64::MIN_POSITIVE {
+                break; // lucky breakdown: exact solution in the subspace
+            }
+            let inv = T::from_f64(1.0 / w_norm);
+            let v_next: Vec<T> = w.iter().map(|&wi| wi * inv).collect();
+            basis.push(v_next);
+        }
+
+        // Back-substitute y from the triangularized system and update x.
+        let mut y = vec![T::ZERO; k_used];
+        for i in (0..k_used).rev() {
+            let mut sum = T::from_f64(g[i]);
+            for j2 in i + 1..k_used {
+                sum -= h[j2][i] * y[j2];
+            }
+            y[i] = sum / h[i][i];
+        }
+        for (j, &yj) in y.iter().enumerate() {
+            axpy(yj, &basis[j], &mut x);
+        }
+        if stats.converged {
+            // Recompute the true residual to guard against drift.
+            let ax = apply_a(&x);
+            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            stats.residual = norm2(&r) / b_norm;
+            stats.converged = stats.residual <= opts.tol * 10.0;
+            if stats.converged {
+                break 'outer;
+            }
+        }
+    }
+    (x, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_matrix::{CooMatrix, CsrMatrix};
+
+    fn nonsym(n: usize) -> CsrMatrix<f64> {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..n {
+            r.push(i);
+            c.push(i);
+            v.push(6.0 + (i % 3) as f64);
+            if i + 1 < n {
+                r.push(i);
+                c.push(i + 1);
+                v.push(-2.5);
+            }
+            if i >= 1 {
+                r.push(i);
+                c.push(i - 1);
+                v.push(-1.0);
+            }
+            if i + 7 < n {
+                r.push(i);
+                c.push(i + 7);
+                v.push(0.5);
+            }
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(n, n, &r, &c, &v).unwrap())
+    }
+
+    #[test]
+    fn converges_on_nonsymmetric_system() {
+        let a = nonsym(300);
+        let b: Vec<f64> = (0..300).map(|i| 1.0 + ((i * 3) % 11) as f64 * 0.2).collect();
+        let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &b, &GmresOptions::default());
+        assert!(stats.converged, "residual {}", stats.residual);
+        let ax = a.spmv(&x).unwrap();
+        let err: f64 =
+            ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(err < 1e-6, "‖Ax − b‖ = {err}");
+    }
+
+    #[test]
+    fn restart_smaller_than_problem_still_converges() {
+        let a = nonsym(200);
+        let b = vec![1.0; 200];
+        let opts = GmresOptions { restart: 5, max_iters: 2000, tol: 1e-8 };
+        let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &b, &opts);
+        assert!(stats.converged, "residual {}", stats.residual);
+        let ax = a.spmv(&x).unwrap();
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(err < 1e-5);
+    }
+
+    #[test]
+    fn spd_system_agrees_with_cg() {
+        let a = bro_matrix::generate::laplacian_2d::<f64>(12);
+        let csr = CsrMatrix::from_coo(&a);
+        let b: Vec<f64> = (0..144).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let (x_cg, s1) = crate::cg::cg(|v| csr.spmv(v).unwrap(), &b, &Default::default());
+        let (x_gm, s2) = gmres(|v| csr.spmv(v).unwrap(), &b, &GmresOptions::default());
+        assert!(s1.converged && s2.converged);
+        for (a, b) in x_cg.iter().zip(&x_gm) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = nonsym(20);
+        let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &vec![0.0; 20], &Default::default());
+        assert!(stats.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_converges_in_one_iteration() {
+        let apply = |v: &[f64]| v.to_vec();
+        let b = vec![3.0, -1.0, 2.0];
+        let (x, stats) = gmres(apply, &b, &GmresOptions::default());
+        assert!(stats.converged);
+        assert!(stats.iterations <= 2);
+        for (a, b) in x.iter().zip(&b) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let a = nonsym(300);
+        let opts = GmresOptions { restart: 10, max_iters: 4, tol: 1e-15 };
+        let (_, stats) = gmres(|v| a.spmv(v).unwrap(), &vec![1.0; 300], &opts);
+        assert!(stats.iterations <= 4);
+        assert!(!stats.converged);
+    }
+}

@@ -1,0 +1,55 @@
+//! Dense vector kernels shared by the solvers.
+
+use bro_matrix::Scalar;
+
+/// Dot product ⟨a, b⟩.
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm ‖a‖₂.
+pub fn norm2<T: Scalar>(a: &[T]) -> f64 {
+    dot(a, a).to_f64().sqrt()
+}
+
+/// `y ← y + alpha · x`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `y ← x + beta · y` (the CG direction update).
+pub fn xpby<T: Scalar>(x: &[T], beta: T, y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = (*yi).mul_add(beta, xi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn xpby_direction_update() {
+        let mut p = vec![1.0, 2.0];
+        xpby(&[10.0, 10.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 11.0]);
+    }
+}

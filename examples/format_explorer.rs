@@ -1,0 +1,81 @@
+//! Format explorer: picks a matrix from the paper's Table 2 suite (or a
+//! MatrixMarket file) and compares every storage format — COO, ELLPACK,
+//! ELLPACK-R, HYB and their BRO counterparts — on all three simulated GPUs.
+//!
+//! ```sh
+//! cargo run --release --example format_explorer -- cant
+//! cargo run --release --example format_explorer -- path/to/matrix.mtx
+//! ```
+
+use bro_spmv::core::{BroCoo, BroCooConfig, BroHyb, BroHybConfig};
+use bro_spmv::gpu_sim::KernelReport;
+use bro_spmv::matrix::{io::read_matrix_market_file, suite};
+use bro_spmv::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "cant".to_string());
+    let a: CooMatrix<f64> = if arg.ends_with(".mtx") {
+        read_matrix_market_file(&arg).expect("failed to read MatrixMarket file")
+    } else {
+        let entry = suite::by_name(&arg).unwrap_or_else(|| {
+            eprintln!("unknown matrix '{arg}'; available:");
+            for e in suite::full_suite() {
+                eprintln!("  {}", e.name);
+            }
+            std::process::exit(2);
+        });
+        // A tenth-scale stand-in keeps this example fast.
+        entry.spec(0.1).generate()
+    };
+    println!("{arg}: {}", a.stats());
+
+    let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let reference = csr_spmv(&CsrMatrix::from_coo(&a), &x);
+    let flops = 2 * a.nnz() as u64;
+
+    // Compress once per format.
+    let ell = EllMatrix::from_coo(&a);
+    let ellr = EllRMatrix::from_coo(&a);
+    let hyb = HybMatrix::from_coo(&a);
+    let bro_ell: BroEll<f64> = BroEll::compress(&ell, &BroEllConfig::default());
+    let bro_coo: BroCoo<f64> = BroCoo::compress(&a, &BroCooConfig::default());
+    let bro_hyb: BroHyb<f64> = BroHyb::from_coo(&a, &BroHybConfig::default());
+    println!(
+        "BRO-ELL eta = {:.1}%   BRO-COO eta = {:.1}%   BRO-HYB eta = {:.1}% ({}% of nnz in ELL part)",
+        bro_ell.space_savings().eta() * 100.0,
+        bro_coo.space_savings().eta() * 100.0,
+        bro_hyb.space_savings().eta() * 100.0,
+        (bro_hyb.ell_fraction() * 100.0).round()
+    );
+
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>14}",
+        "format", "C2070 GF/s", "GTX680 GF/s", "K20 GF/s"
+    );
+    let verify = |y: &[f64]| {
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "kernel diverged from reference");
+        }
+    };
+    type Runner<'a> = Box<dyn Fn(&mut DeviceSim) -> Vec<f64> + 'a>;
+    let kernels: Vec<(&str, Runner)> = vec![
+        ("COO", Box::new(|s: &mut DeviceSim| coo_spmv(s, &a, &x))),
+        ("ELLPACK", Box::new(|s: &mut DeviceSim| ell_spmv(s, &ell, &x))),
+        ("ELLPACK-R", Box::new(|s: &mut DeviceSim| ellr_spmv(s, &ellr, &x))),
+        ("HYB", Box::new(|s: &mut DeviceSim| hyb_spmv(s, &hyb, &x))),
+        ("BRO-ELL", Box::new(|s: &mut DeviceSim| bro_ell_spmv(s, &bro_ell, &x))),
+        ("BRO-COO", Box::new(|s: &mut DeviceSim| bro_coo_spmv(s, &bro_coo, &x))),
+        ("BRO-HYB", Box::new(|s: &mut DeviceSim| bro_hyb_spmv(s, &bro_hyb, &x))),
+    ];
+    for (name, run) in &kernels {
+        let mut cells = Vec::new();
+        for profile in DeviceProfile::evaluation_set() {
+            let mut sim = DeviceSim::new(profile);
+            let y = run(&mut sim);
+            verify(&y);
+            let r = KernelReport::from_device(&sim, flops, 8);
+            cells.push(format!("{:>14.2}", r.gflops));
+        }
+        println!("{:<12} {}", name, cells.join(" "));
+    }
+}

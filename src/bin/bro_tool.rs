@@ -1,0 +1,269 @@
+//! `bro-tool` — command-line front end for the library: inspect matrices,
+//! compress them to `.bro` artifacts, run simulated SpMV, auto-select
+//! formats, and solve linear systems.
+//!
+//! ```text
+//! bro-tool info      <matrix>                    stats + compressibility
+//! bro-tool compress  <matrix> <out.bro> [--coo]  write a BRO artifact
+//! bro-tool spmv      <matrix> [--device D]       simulated BRO-ELL SpMV
+//! bro-tool recommend <matrix> [--device D]       auto-select the format
+//! bro-tool solve     <matrix> [--solver S]       solve A x = b (b = A·1)
+//! bro-tool suite                                 list the Table-2 suite
+//! ```
+//!
+//! `<matrix>` is a `.mtx` MatrixMarket file or the name of a suite matrix
+//! (generated at `--scale`, default 0.1). `D` ∈ {c2070, gtx680, k20}.
+
+use bro_spmv::core::{
+    analyze_value_compression, write_bro_coo, write_bro_ell, BroCoo, BroCooConfig,
+};
+use bro_spmv::gpu_sim::KernelReport;
+use bro_spmv::kernels::recommend_format;
+use bro_spmv::matrix::{io::read_matrix_market_file, suite};
+use bro_spmv::prelude::*;
+use bro_spmv::solvers::{bicgstab, gmres, BiCgStabOptions, GmresOptions, SolveStats};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    device: DeviceProfile,
+    scale: f64,
+    coo_format: bool,
+    solver: String,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut a = Args {
+        positional: Vec::new(),
+        device: DeviceProfile::tesla_k20(),
+        scale: 0.1,
+        coo_format: false,
+        solver: "cg".into(),
+    };
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--device" => {
+                let d = it.next().unwrap_or_else(|| die("--device needs a value"));
+                a.device = match d.to_ascii_lowercase().as_str() {
+                    "c2070" => DeviceProfile::tesla_c2070(),
+                    "gtx680" => DeviceProfile::gtx680(),
+                    "k20" => DeviceProfile::tesla_k20(),
+                    other => die(&format!("unknown device '{other}' (c2070|gtx680|k20)")),
+                };
+            }
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
+                a.scale = v.parse().unwrap_or_else(|_| die("bad --scale"));
+            }
+            "--coo" => a.coo_format = true,
+            "--solver" => {
+                a.solver = it.next().unwrap_or_else(|| die("--solver needs a value")).clone();
+            }
+            other => a.positional.push(other.to_string()),
+        }
+    }
+    a
+}
+
+fn load_matrix(name: &str, scale: f64) -> CooMatrix<f64> {
+    if name.ends_with(".mtx") {
+        read_matrix_market_file(name).unwrap_or_else(|e| die(&format!("reading {name}: {e}")))
+    } else {
+        suite::by_name(name)
+            .unwrap_or_else(|| die(&format!("unknown matrix '{name}' (try `bro-tool suite`)")))
+            .spec(scale)
+            .generate()
+    }
+}
+
+fn cmd_info(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("info needs a matrix"));
+    let m = load_matrix(name, a.scale);
+    let stats = m.stats();
+    println!("{name}: {stats}");
+    println!("  padding fraction (global ELLPACK): {:.1}%", stats.padding_fraction() * 100.0);
+    let hyb_k = HybMatrix::<f64>::split_width(&m.row_lengths());
+    println!("  HYB split width k = {hyb_k}");
+    let bro: BroEll<f64> = BroEll::from_coo(&m, &BroEllConfig::default());
+    println!("  BRO-ELL index savings: {}", bro.space_savings());
+    let bc: BroCoo<f64> = BroCoo::compress(&m, &BroCooConfig::default());
+    println!("  BRO-COO row-index savings: {}", bc.space_savings());
+    println!("  value-dictionary savings: {}", analyze_value_compression(&m));
+    println!("  delta profile: {}", bro_spmv::core::DeltaHistogram::from_matrix(&m));
+}
+
+fn cmd_compress(a: &Args) {
+    let [name, out] = a.positional.as_slice() else {
+        die("compress needs <matrix> <output.bro>");
+    };
+    let m = load_matrix(name, a.scale);
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create(out).unwrap_or_else(|e| die(&format!("creating {out}: {e}"))),
+    );
+    if a.coo_format {
+        let bro: BroCoo<f64> = BroCoo::compress(&m, &BroCooConfig::default());
+        write_bro_coo(&bro, &mut file).unwrap_or_else(|e| die(&format!("writing: {e}")));
+        println!("wrote BRO-COO artifact: {}", bro.space_savings());
+    } else {
+        let bro: BroEll<f64> = BroEll::from_coo(&m, &BroEllConfig::default());
+        write_bro_ell(&bro, &mut file).unwrap_or_else(|e| die(&format!("writing: {e}")));
+        println!("wrote BRO-ELL artifact: {}", bro.space_savings());
+    }
+}
+
+fn cmd_spmv(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("spmv needs a matrix"));
+    // A pre-compressed `.bro` artifact skips the compression step entirely.
+    let bro: BroEll<f64> = if name.ends_with(".bro") {
+        let mut file = std::io::BufReader::new(
+            std::fs::File::open(name).unwrap_or_else(|e| die(&format!("opening {name}: {e}"))),
+        );
+        bro_spmv::core::read_bro_ell(&mut file)
+            .unwrap_or_else(|e| die(&format!("reading artifact: {e}")))
+    } else {
+        BroEll::from_coo(&load_matrix(name, a.scale), &BroEllConfig::default())
+    };
+    let m = bro.decompress();
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 8) as f64 * 0.25).collect();
+    let reference = csr_spmv(&CsrMatrix::from_coo(&m), &x);
+    let mut sim = DeviceSim::new(a.device.clone());
+    let y = bro_ell_spmv(&mut sim, &bro, &x);
+    let max_err = y
+        .iter()
+        .zip(&reference)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    let report = KernelReport::from_device(&sim, 2 * m.nnz() as u64, 8);
+    println!("{report}");
+    println!("verified against CPU reference (max |diff| = {max_err:.2e})");
+}
+
+fn cmd_recommend(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("recommend needs a matrix"));
+    let m = load_matrix(name, a.scale);
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 8) as f64 * 0.25).collect();
+    let report = recommend_format(&m, &x, &a.device);
+    println!("best format on {}: {}", a.device.name, report.best);
+    println!("{:<12} {:>10} {:>14}", "format", "GFLOP/s", "DRAM bytes");
+    for c in &report.candidates {
+        println!("{:<12} {:>10.2} {:>14}", c.format.to_string(), c.gflops, c.dram_bytes);
+    }
+    for (f, why) in &report.skipped {
+        println!("skipped {f}: {why}");
+    }
+}
+
+fn cmd_solve(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("solve needs a matrix"));
+    let m = load_matrix(name, a.scale);
+    if m.rows() != m.cols() {
+        die("solve needs a square matrix");
+    }
+    // Synthetic suite matrices carry random values; shift the diagonal to
+    // strict dominance so the system is well-posed and every solver can
+    // exercise its SpMV loop meaningfully. CG additionally needs symmetry.
+    let m = if a.solver == "cg" { m.symmetrized() } else { m };
+    let m = m.add_diagonal(1.0 + m.max_offdiag_row_sum());
+    let csr = CsrMatrix::from_coo(&m);
+    // Manufactured solution: x* = 1, b = A·1, so the error is checkable.
+    let b = csr.spmv(&vec![1.0; m.cols()]).unwrap();
+    let apply = |v: &[f64]| csr.par_spmv(v).unwrap();
+    let t0 = std::time::Instant::now();
+    let (x, stats): (Vec<f64>, SolveStats) = match a.solver.as_str() {
+        "cg" => cg(apply, &b, &CgOptions { max_iters: 5000, tol: 1e-9 }),
+        "bicgstab" => bicgstab(apply, &b, &BiCgStabOptions { max_iters: 5000, tol: 1e-9 }),
+        "gmres" => gmres(apply, &b, &GmresOptions { restart: 40, max_iters: 5000, tol: 1e-9 }),
+        other => die(&format!("unknown solver '{other}' (cg|bicgstab|gmres)")),
+    };
+    let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+    println!(
+        "{}: {} iterations, residual {:.2e}, converged = {}, max |x - 1| = {:.2e}, {:.2}s",
+        a.solver,
+        stats.iterations,
+        stats.residual,
+        stats.converged,
+        err,
+        t0.elapsed().as_secs_f64()
+    );
+    if !stats.converged {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_suite() {
+    println!("{:<12} {:>4} {:>12} {:>12} {:>8} {:>8}", "name", "set", "rows", "nnz", "mu", "sigma");
+    for e in suite::full_suite() {
+        println!(
+            "{:<12} {:>4} {:>12} {:>12} {:>8.1} {:>8.1}",
+            e.name,
+            match e.test_set {
+                suite::TestSet::One => 1,
+                suite::TestSet::Two => 2,
+            },
+            e.rows,
+            e.nnz,
+            e.mu,
+            e.sigma
+        );
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        eprintln!("usage: bro-tool <info|compress|spmv|recommend|solve|suite> …");
+        std::process::exit(2);
+    };
+    let args = parse_args(&raw[1..]);
+    match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "compress" => cmd_compress(&args),
+        "spmv" => cmd_spmv(&args),
+        "recommend" => cmd_recommend(&args),
+        "solve" => cmd_solve(&args),
+        "suite" => cmd_suite(),
+        "-h" | "--help" => {
+            eprintln!("usage: bro-tool <info|compress|spmv|recommend|solve|suite> …")
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_defaults() {
+        let a = parse_args(&[]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.device.name, "Tesla K20");
+        assert!(!a.coo_format);
+        assert_eq!(a.solver, "cg");
+    }
+
+    #[test]
+    fn parse_args_flags() {
+        let raw: Vec<String> = ["m.mtx", "--device", "c2070", "--scale", "0.5", "--coo", "--solver", "gmres"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = parse_args(&raw);
+        assert_eq!(a.positional, vec!["m.mtx"]);
+        assert_eq!(a.device.name, "Tesla C2070");
+        assert_eq!(a.scale, 0.5);
+        assert!(a.coo_format);
+        assert_eq!(a.solver, "gmres");
+    }
+
+    #[test]
+    fn load_matrix_suite_name() {
+        let m = load_matrix("epb3", 0.01);
+        assert!(m.nnz() > 0);
+    }
+}

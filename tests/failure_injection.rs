@@ -1,0 +1,98 @@
+//! Failure-injection integration tests: corrupted inputs and mismatched
+//! shapes must be rejected or surfaced, never silently mis-computed.
+
+use bro_spmv::core::{BroCoo, BroCooConfig};
+use bro_spmv::matrix::{io::read_matrix_market, MatrixError};
+use bro_spmv::prelude::*;
+
+#[test]
+fn truncated_matrix_market_rejected() {
+    let src = "%%MatrixMarket matrix coordinate real general\n5 5 3\n1 1 1.0\n";
+    let err = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+    assert!(matches!(err, MatrixError::Parse { .. }), "{err}");
+}
+
+#[test]
+fn garbage_values_rejected() {
+    let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 not_a_number\n";
+    assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
+}
+
+#[test]
+fn out_of_range_entry_rejected() {
+    let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+    assert!(read_matrix_market::<f64, _>(src.as_bytes()).is_err());
+}
+
+#[test]
+fn kernel_shape_mismatches_panic_not_corrupt() {
+    let a = bro_spmv::matrix::generate::laplacian_2d::<f64>(4);
+    let ell = EllMatrix::from_coo(&a);
+    let mut sim = DeviceSim::new(DeviceProfile::tesla_k20());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ell_spmv(&mut sim, &ell, &[1.0; 3]) // wrong x length
+    }));
+    assert!(result.is_err(), "wrong-shaped x must be rejected loudly");
+}
+
+#[test]
+fn corrupted_bro_stream_detected_by_decompression_mismatch() {
+    // Flip one bit in a compressed stream: the decompressed matrix must
+    // differ from the original (the formats carry no silent redundancy, so
+    // corruption surfaces as a data mismatch downstream).
+    let a = bro_spmv::matrix::generate::laplacian_2d::<f64>(12);
+    let mut bro: BroCoo<f64> = BroCoo::compress(&a, &BroCooConfig::default());
+    // Reach into the first interval's stream.
+    let intervals = bro.intervals().to_vec();
+    assert!(!intervals.is_empty());
+    // Rebuild with a corrupted copy via the public API: decompress rows,
+    // corrupt, and compare.
+    let good_rows = bro.decompress_rows();
+    // Corrupt: flip the top bit of the first stream symbol through a clone.
+    let mut corrupted = intervals.clone();
+    if let Some(sym) = corrupted[0].stream.first_mut() {
+        *sym ^= 0x8000_0000;
+        let different = {
+            // Decompress manually mirroring the reference decoder for the
+            // corrupted first interval only.
+            let iv = &corrupted[0];
+            let mut acc = iv.base_row as u64;
+            let w = bro.warp_size();
+            let mut rows = Vec::new();
+            let steps = iv.len.div_ceil(w);
+            let mut readers: Vec<bro_spmv::bitstream::BitReader<u32>> = Vec::new();
+            let lane_words: Vec<Vec<u32>> = (0..w)
+                .map(|lane| (0..iv.syms_per_lane).map(|c| iv.stream[c * w + lane]).collect())
+                .collect();
+            for words in &lane_words {
+                readers.push(bro_spmv::bitstream::BitReader::new(words));
+            }
+            for j in 0..steps {
+                for (lane, r) in readers.iter_mut().enumerate() {
+                    let d = r.read(iv.bit_width as u32);
+                    if j * w + lane < iv.len {
+                        acc += d;
+                        rows.push(acc as u32);
+                    }
+                }
+            }
+            rows != good_rows[iv.start..iv.start + iv.len]
+        };
+        assert!(different, "bit corruption must change decoded row indices");
+    }
+    // The pristine object still round-trips.
+    assert_eq!(bro.decompress(), a);
+    let _ = &mut bro;
+}
+
+#[test]
+fn permutation_of_wrong_size_rejected() {
+    let a = bro_spmv::matrix::generate::laplacian_2d::<f64>(3);
+    let p = Permutation::identity(5);
+    assert!(std::panic::catch_unwind(|| p.apply_rows(&a)).is_err());
+}
+
+#[test]
+fn invalid_permutation_construction_fails() {
+    assert!(Permutation::from_order(vec![0, 2, 2]).is_none());
+}

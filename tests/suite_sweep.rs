@@ -1,0 +1,73 @@
+//! Sweep over the entire Table-2 suite at tiny scale: every one of the 30
+//! matrices generates, compresses losslessly into its designated format
+//! family, and multiplies correctly on the simulator.
+
+use bro_spmv::core::{BroHyb, BroHybConfig};
+use bro_spmv::kernels::bro_hyb_spmv;
+use bro_spmv::matrix::scalar::assert_vec_approx_eq;
+use bro_spmv::matrix::suite::{self, TestSet};
+use bro_spmv::prelude::*;
+
+const SCALE: f64 = 0.01;
+
+#[test]
+fn all_thirty_matrices_generate_with_sane_stats() {
+    for entry in suite::full_suite() {
+        let a: CooMatrix<f64> = entry.spec(SCALE).generate();
+        let s = a.stats();
+        assert!(s.nnz > 0, "{} generated empty", entry.name);
+        assert!(s.mean_row_len > 0.0, "{}", entry.name);
+        assert!(
+            s.max_row_len <= s.cols,
+            "{}: max row len {} exceeds cols {}",
+            entry.name,
+            s.max_row_len,
+            s.cols
+        );
+    }
+}
+
+#[test]
+fn test_set_1_is_bro_ell_representable_and_lossless() {
+    for entry in suite::test_set_1() {
+        let a: CooMatrix<f64> = entry.spec(SCALE).generate();
+        let bro: BroEll<f64> = BroEll::from_coo(&a, &BroEllConfig::default());
+        assert_eq!(bro.decompress(), a, "{} BRO-ELL round trip", entry.name);
+        assert!(
+            bro.space_savings().eta() > 0.25,
+            "{}: eta {:.2} suspiciously low",
+            entry.name,
+            bro.space_savings().eta()
+        );
+    }
+}
+
+#[test]
+fn test_set_2_hyb_round_trips_and_multiplies() {
+    let mut sim = DeviceSim::new(DeviceProfile::tesla_k20());
+    for entry in suite::test_set_2() {
+        let a: CooMatrix<f64> = entry.spec(SCALE).generate();
+        let bro: BroHyb<f64> = BroHyb::from_coo(&a, &BroHybConfig::default());
+        assert_eq!(bro.decompress(), a, "{} BRO-HYB round trip", entry.name);
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect();
+        let y = bro_hyb_spmv(&mut sim, &bro, &x);
+        assert_vec_approx_eq(&y, &a.spmv_reference(&x).unwrap(), 1e-9);
+    }
+}
+
+#[test]
+fn test_set_membership_matches_paper() {
+    let s1: Vec<&str> = suite::test_set_1().iter().map(|e| e.name).collect();
+    let s2: Vec<&str> = suite::test_set_2().iter().map(|e| e.name).collect();
+    for e in suite::full_suite() {
+        match e.test_set {
+            TestSet::One => assert!(s1.contains(&e.name)),
+            TestSet::Two => assert!(s2.contains(&e.name)),
+        }
+    }
+    // Spot-check membership against Table 2.
+    assert!(s1.contains(&"qcd5_4"));
+    assert!(s1.contains(&"pdb1HYS"));
+    assert!(s2.contains(&"webbase-1M"));
+    assert!(s2.contains(&"rail4284"));
+}
