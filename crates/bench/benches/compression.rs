@@ -22,7 +22,9 @@ fn compression(c: &mut Criterion) {
         })
     });
     g.bench_function("bro_coo/cant", |b| {
-        b.iter(|| black_box(BroCoo::<f64, u32>::compress(black_box(&coo), &BroCooConfig::default())))
+        b.iter(|| {
+            black_box(BroCoo::<f64, u32>::compress(black_box(&coo), &BroCooConfig::default()))
+        })
     });
     g.finish();
 
@@ -31,7 +33,9 @@ fn compression(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(skew.nnz() as u64));
     g.bench_function("bro_hyb/twotone", |b| {
-        b.iter(|| black_box(BroHyb::<f64, u32>::from_coo(black_box(&skew), &BroHybConfig::default())))
+        b.iter(|| {
+            black_box(BroHyb::<f64, u32>::from_coo(black_box(&skew), &BroHybConfig::default()))
+        })
     });
     g.finish();
 

@@ -78,10 +78,8 @@ fn fig8_kernels(c: &mut Criterion) {
     let a = matrix("twotone");
     let x = x_for(&a);
     let hyb = HybMatrix::from_coo(&a);
-    let bro: BroHyb<f64> = BroHyb::from_coo(
-        &a,
-        &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() },
-    );
+    let bro: BroHyb<f64> =
+        BroHyb::from_coo(&a, &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() });
     let mut g = c.benchmark_group("fig8_sim");
     g.sample_size(20);
     g.throughput(Throughput::Elements(a.nnz() as u64));

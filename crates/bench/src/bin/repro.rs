@@ -14,6 +14,7 @@
 //!   --matrix NAME  only run matrices whose name contains NAME
 //! ```
 
+use bro_bench::cli::{die, die_usage, flag_value, parse_flag};
 use bro_bench::experiments::*;
 use bro_bench::ExpContext;
 
@@ -42,6 +43,7 @@ experiments:
   split      extension: BRO-HYB split-width sweep
   divergence extension: BRO-ELL vs CPU-style varint scheme
   solver     extension: solver economics (compression amortization)
+  scaling    extension: multi-GPU strong/weak scaling (distributed SpMV)
   all     everything above
 
 options:
@@ -61,17 +63,16 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
-                scale = v.parse().unwrap_or_else(|_| die("--scale must be a number"));
+                scale = parse_flag(&mut it, "--scale");
                 if !(scale > 0.0 && scale <= 1.0) {
                     die("--scale must be in (0, 1]");
                 }
             }
             "--out" => {
-                out = Some(it.next().unwrap_or_else(|| die("--out needs a directory")).into());
+                out = Some(flag_value(&mut it, "--out").into());
             }
             "--matrix" => {
-                matrix = Some(it.next().unwrap_or_else(|| die("--matrix needs a name")).clone());
+                matrix = Some(flag_value(&mut it, "--matrix").to_string());
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -80,12 +81,11 @@ fn main() {
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
             }
-            other => die(&format!("unknown argument '{other}'")),
+            other => die_usage(&format!("unknown argument '{other}'"), USAGE),
         }
     }
     let Some(exp) = experiment else {
-        print!("{USAGE}");
-        std::process::exit(2);
+        die_usage("an experiment name is required", USAGE);
     };
 
     let mut ctx = ExpContext::new(scale);
@@ -115,6 +115,7 @@ fn main() {
         "split" => split_exp::run(&mut ctx),
         "divergence" => divergence::run(&mut ctx),
         "solver" => solver_exp::run(&mut ctx),
+        "scaling" => scaling::run(&mut ctx),
         "all" => {
             table1::run(&mut ctx);
             table2::run(&mut ctx);
@@ -136,13 +137,9 @@ fn main() {
             split_exp::run(&mut ctx);
             divergence::run(&mut ctx);
             solver_exp::run(&mut ctx);
+            scaling::run(&mut ctx);
         }
-        other => die(&format!("unknown experiment '{other}'\n\n{USAGE}")),
+        other => die_usage(&format!("unknown experiment '{other}'"), USAGE),
     }
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
 }

@@ -1,0 +1,72 @@
+//! Minimal argument-parsing helpers shared by the workspace's two
+//! binaries (`repro` and `bro-tool`).
+//!
+//! Both binaries hand-roll their flag loops (the workspace deliberately
+//! carries no argument-parsing dependency); these helpers centralize the
+//! failure paths so every malformed invocation exits non-zero with a
+//! message — and, where usage text is supplied, with the list of valid
+//! choices.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Prints `error: <msg>` to stderr and exits with status 2.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Like [`die`], but follows the message with usage text (e.g. the list
+/// of valid experiments or subcommands).
+pub fn die_usage(msg: &str, usage: &str) -> ! {
+    eprintln!("error: {msg}\n\n{usage}");
+    std::process::exit(2);
+}
+
+/// Pulls the value following a `--flag`, dying when it is missing.
+pub fn flag_value<'a, I: Iterator<Item = &'a String>>(it: &mut I, flag: &str) -> &'a str {
+    match it.next() {
+        Some(v) => v.as_str(),
+        None => die(&format!("{flag} needs a value")),
+    }
+}
+
+/// Pulls and parses the value following a `--flag`, dying with the parse
+/// error when it is malformed.
+pub fn parse_flag<'a, T, I>(it: &mut I, flag: &str) -> T
+where
+    T: FromStr,
+    T::Err: Display,
+    I: Iterator<Item = &'a String>,
+{
+    let raw = flag_value(it, flag);
+    match raw.parse::<T>() {
+        Ok(v) => v,
+        Err(e) => die(&format!("{flag}: invalid value '{raw}': {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_returns_next() {
+        let args = strings(&["0.5", "rest"]);
+        let mut it = args.iter();
+        assert_eq!(flag_value(&mut it, "--scale"), "0.5");
+        assert_eq!(it.next().map(String::as_str), Some("rest"));
+    }
+
+    #[test]
+    fn parse_flag_parses_numbers() {
+        let args = strings(&["0.25"]);
+        let mut it = args.iter();
+        let v: f64 = parse_flag(&mut it, "--scale");
+        assert_eq!(v, 0.25);
+    }
+}

@@ -25,9 +25,8 @@ pub fn run(ctx: &mut ExpContext) {
     // Enough rows to keep every device fully occupied (the sweep isolates
     // traffic effects, not occupancy); tests shrink via very small scales.
     let rows = ((131_072.0 * ctx.scale) as usize).max(1024);
-    let dense = DenseMatrix::from_fn(rows, DENSE_COLS, |r, c| {
-        1.0 + ((r * 31 + c * 7) % 16) as f64 * 0.125
-    });
+    let dense =
+        DenseMatrix::from_fn(rows, DENSE_COLS, |r, c| 1.0 + ((r * 31 + c * 7) % 16) as f64 * 0.125);
     let coo = dense.to_coo_full();
     let ell = EllMatrix::from_coo(&coo);
     let x = ctx.input_vector(DENSE_COLS);

@@ -13,7 +13,13 @@ use crate::table::{f, TextTable};
 /// Runs the Test Set 1 performance comparison.
 pub fn run(ctx: &mut ExpContext) {
     let mut t = TextTable::new(&[
-        "Matrix", "Device", "ELL GF/s", "ELL-R GF/s", "BRO-ELL GF/s", "vs ELL", "vs ELL-R",
+        "Matrix",
+        "Device",
+        "ELL GF/s",
+        "ELL-R GF/s",
+        "BRO-ELL GF/s",
+        "vs ELL",
+        "vs ELL-R",
     ]);
     let mut per_device_speedup: Vec<Vec<f64>> = vec![Vec::new(); ctx.devices.len()];
     let mut per_device_vs_ellr: Vec<Vec<f64>> = vec![Vec::new(); ctx.devices.len()];

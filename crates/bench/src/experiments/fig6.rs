@@ -15,8 +15,7 @@ pub const MATRICES: [&str; 6] = ["cage12", "cant", "consph", "e40r5000", "epb3",
 
 /// Computes bandwidth utilization per matrix and device.
 pub fn run(ctx: &mut ExpContext) {
-    let mut t =
-        TextTable::new(&["Matrix", "Device", "achieved GB/s", "utilization", "occupancy"]);
+    let mut t = TextTable::new(&["Matrix", "Device", "achieved GB/s", "utilization", "occupancy"]);
     for name in MATRICES {
         if !ctx.selected(name) {
             continue;

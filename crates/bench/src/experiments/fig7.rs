@@ -14,8 +14,7 @@ use crate::table::{f, TextTable};
 
 /// Runs the comparison over the full suite.
 pub fn run(ctx: &mut ExpContext) {
-    let mut t =
-        TextTable::new(&["Matrix", "Device", "COO GF/s", "BRO-COO GF/s", "speedup"]);
+    let mut t = TextTable::new(&["Matrix", "Device", "COO GF/s", "BRO-COO GF/s", "speedup"]);
     let mut per_device: Vec<Vec<f64>> = vec![Vec::new(); ctx.devices.len()];
     for entry in suite::full_suite() {
         if !ctx.selected(entry.name) {

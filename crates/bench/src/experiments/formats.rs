@@ -38,8 +38,10 @@ pub fn run(ctx: &mut ExpContext) {
         let bro_ell: BroEll<f64> = BroEll::compress(&ell, &BroEllConfig::default());
         let bro_ellr: BroEllR<f64> = BroEllR::from_coo(&a, &BroEllConfig::default());
         let bro_coo: BroCoo<f64> = BroCoo::compress(&a, &BroCooConfig::default());
-        let bro_hyb: BroHyb<f64> =
-            BroHyb::from_coo(&a, &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() });
+        let bro_hyb: BroHyb<f64> = BroHyb::from_coo(
+            &a,
+            &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() },
+        );
 
         type Runner<'z> = Box<dyn Fn(&mut bro_gpu_sim::DeviceSim) -> Vec<f64> + 'z>;
         let runners: Vec<(&str, Runner)> = vec![

@@ -13,9 +13,10 @@ pub mod formats;
 pub mod multirow_exp;
 pub mod precision;
 pub mod reorder_exp;
+pub mod scaling;
 pub mod solver_exp;
-pub mod spmm_exp;
 pub mod split_exp;
+pub mod spmm_exp;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -23,9 +23,8 @@ fn to_f32(a: &CooMatrix<f64>) -> CooMatrix<f32> {
 
 /// Runs the SP/DP comparison on a few representative matrices.
 pub fn run(ctx: &mut ExpContext) {
-    let mut t = TextTable::new(&[
-        "Matrix", "Device", "prec", "ELL GF/s", "BRO-ELL GF/s", "speedup",
-    ]);
+    let mut t =
+        TextTable::new(&["Matrix", "Device", "prec", "ELL GF/s", "BRO-ELL GF/s", "speedup"]);
     for name in ["cant", "stomach", "qcd5_4"] {
         if !ctx.selected(name) {
             continue;

@@ -49,7 +49,13 @@ fn bro_gflops(dev: &DeviceProfile, coo: &CooMatrix<f64>, x: &[f64]) -> (f64, f64
 pub fn run(ctx: &mut ExpContext, table_only: bool) {
     let dev = DeviceProfile::tesla_k20();
     let mut fig9 = TextTable::new(&[
-        "Matrix", "ELL GF/s", "BRO-ELL GF/s", "+BAR GF/s", "+RCM GF/s", "+AMD GF/s", "+SORT GF/s",
+        "Matrix",
+        "ELL GF/s",
+        "BRO-ELL GF/s",
+        "+BAR GF/s",
+        "+RCM GF/s",
+        "+AMD GF/s",
+        "+SORT GF/s",
     ]);
     let mut table5 = TextTable::new(&["Matrix", "eta BAR (paper)", "eta none", "eta BAR"]);
     let (mut g_bar, mut g_rcm, mut g_amd, mut g_sort) =

@@ -37,8 +37,7 @@ pub fn run(ctx: &mut ExpContext) {
         let mut lens = a.row_lengths();
 
         let heuristic_k = HybMatrix::<f64>::split_width(&lens);
-        let mut candidates: Vec<(usize, String)> =
-            vec![(heuristic_k, "1/3 heuristic".into())];
+        let mut candidates: Vec<(usize, String)> = vec![(heuristic_k, "1/3 heuristic".into())];
         for &q in QUANTILES.iter() {
             let k = quantile_len(&mut lens, q);
             if !candidates.iter().any(|(ck, _)| *ck == k) {

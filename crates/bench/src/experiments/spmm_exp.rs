@@ -25,9 +25,7 @@ pub fn run(ctx: &mut ExpContext) {
     let mut t = TextTable::new(&["vectors", "ELL GF/s", "BRO-ELL GF/s", "speedup"]);
     for &k in WIDTHS.iter() {
         let xs: Vec<Vec<f64>> = (0..k)
-            .map(|v| {
-                (0..a.cols()).map(|i| 1.0 + ((i * (v + 2)) % 13) as f64 * 0.1).collect()
-            })
+            .map(|v| (0..a.cols()).map(|i| 1.0 + ((i * (v + 2)) % 13) as f64 * 0.1).collect())
             .collect();
         let flops = 2 * a.nnz() as u64 * k as u64;
         let r_ell = run_kernel(&dev, flops, 8, |s| {

@@ -11,13 +11,11 @@ pub fn run(ctx: &mut ExpContext) {
         ctx.devices[1].name,
         ctx.devices[2].name,
     ]);
-    let per = |g: &mut TextTable, label: &str, vf: &dyn Fn(&bro_gpu_sim::DeviceProfile) -> String,
+    let per = |g: &mut TextTable,
+               label: &str,
+               vf: &dyn Fn(&bro_gpu_sim::DeviceProfile) -> String,
                ctx: &ExpContext| {
-        g.row(
-            std::iter::once(label.to_string())
-                .chain(ctx.devices.iter().map(vf))
-                .collect(),
-        );
+        g.row(std::iter::once(label.to_string()).chain(ctx.devices.iter().map(vf)).collect());
     };
     per(&mut t, "Compute capability", &|d| d.compute_capability.to_string(), ctx);
     per(&mut t, "Cores", &|d| d.total_cores().to_string(), ctx);

@@ -9,7 +9,13 @@ use crate::table::{f, TextTable};
 /// Prints the suite overview.
 pub fn run(ctx: &mut ExpContext) {
     let mut t = TextTable::new(&[
-        "Matrix", "Set", "Dim (gen)", "nnz (gen)", "mu (paper)", "mu (gen)", "sigma (paper)",
+        "Matrix",
+        "Set",
+        "Dim (gen)",
+        "nnz (gen)",
+        "mu (paper)",
+        "mu (gen)",
+        "sigma (paper)",
         "sigma (gen)",
     ]);
     for entry in suite::full_suite() {

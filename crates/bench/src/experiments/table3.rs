@@ -41,12 +41,7 @@ pub fn run(ctx: &mut ExpContext) {
             .find(|(n, _)| *n == entry.name)
             .map(|(_, e)| pct(*e))
             .unwrap_or_else(|| "-".into());
-        t.row(vec![
-            entry.name.to_string(),
-            paper,
-            pct(s.eta()),
-            format!("{:.2}x", s.kappa()),
-        ]);
+        t.row(vec![entry.name.to_string(), paper, pct(s.eta()), format!("{:.2}x", s.kappa())]);
     }
     ctx.emit("table3", "Table 3: BRO-ELL index space savings (Test Set 1)", &t);
 }

@@ -35,11 +35,7 @@ pub fn run(ctx: &mut ExpContext) {
         let coo = ctx.matrix(entry.name).clone();
         report_row(entry.name, &coo, &mut t);
     }
-    ctx.emit(
-        "values",
-        "Extension: value-stream dictionary compression on top of BRO-ELL",
-        &t,
-    );
+    ctx.emit("values", "Extension: value-stream dictionary compression on top of BRO-ELL", &t);
 }
 
 #[cfg(test)]

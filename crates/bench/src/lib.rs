@@ -9,6 +9,7 @@
 //! proportionally, so the full suite runs in minutes on a laptop.
 //! `--scale 1.0` reproduces paper-size inputs.
 
+pub mod cli;
 pub mod context;
 pub mod experiments;
 pub mod table;

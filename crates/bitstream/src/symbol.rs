@@ -92,7 +92,7 @@ macro_rules! impl_symbol {
                     0
                 } else {
                     let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
-                    (((v & mask) as $ty)).shl(Self::BITS - n)
+                    ((v & mask) as $ty).shl(Self::BITS - n)
                 }
             }
 

@@ -91,8 +91,7 @@ impl DeltaHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.counts.iter().enumerate().map(|(b, &n)| b as u64 * n).sum();
+        let weighted: u64 = self.counts.iter().enumerate().map(|(b, &n)| b as u64 * n).sum();
         weighted as f64 / self.total as f64
     }
 
@@ -185,8 +184,7 @@ mod tests {
                 c.push(j);
             }
         }
-        let a = bro_matrix::CooMatrix::from_triplets(n, n, &r, &c, &vec![1.0; r.len()])
-            .unwrap();
+        let a = bro_matrix::CooMatrix::from_triplets(n, n, &r, &c, &vec![1.0; r.len()]).unwrap();
         let h = DeltaHistogram::from_matrix(&a);
         assert_eq!(h.total as usize, r.len());
         // Within-row deltas are 1 bit; the first delta of each row encodes
@@ -206,8 +204,7 @@ mod tests {
         let n = 64;
         let r: Vec<usize> = (0..n).collect();
         let c: Vec<usize> = (0..n).map(|i| (i * 524_287) % (1 << 20)).collect();
-        let a = bro_matrix::CooMatrix::from_triplets(n, 1 << 20, &r, &c, &vec![1.0; n])
-            .unwrap();
+        let a = bro_matrix::CooMatrix::from_triplets(n, 1 << 20, &r, &c, &vec![1.0; n]).unwrap();
         let h = DeltaHistogram::from_matrix(&a);
         assert!(h.mean_bits() > 10.0);
         assert!(h.ideal_eta() < 0.7);

@@ -328,8 +328,7 @@ mod tests {
         // Jumps of varying size between populated rows.
         let rows = [0usize, 0, 7, 7, 7, 100, 1000, 1000, 65535];
         let cols = [0usize, 5, 1, 2, 3, 0, 9, 10, 2];
-        let coo =
-            CooMatrix::from_triplets(65536, 16, &rows, &cols, &[1.0; 9]).unwrap();
+        let coo = CooMatrix::from_triplets(65536, 16, &rows, &cols, &[1.0; 9]).unwrap();
         let bro: BroCoo<f64> = BroCoo::compress(&coo, &tiny_cfg(4, 4));
         assert_eq!(bro.decompress(), coo);
     }

@@ -19,9 +19,7 @@
 //! columns entirely — the same saving Sliced-ELLPACK gets, which the paper
 //! inherits through `num_col`.
 
-use bro_bitstream::{
-    bits_for, delta_encode_row, multiplex, BitReader, BitWriter, Symbol,
-};
+use bro_bitstream::{bits_for, delta_encode_row, multiplex, BitReader, BitWriter, Symbol};
 use bro_matrix::{CooMatrix, EllMatrix, Scalar};
 use rayon::prelude::*;
 
@@ -178,7 +176,7 @@ impl<T: Scalar, W: Symbol> BroEll<T, W> {
             })
             .collect();
         let stream = multiplex(&bitstrings).expect("rows padded to equal symbol counts");
-        let syms_per_row = if height == 0 { 0 } else { stream.len() / height };
+        let syms_per_row = stream.len().checked_div(height).unwrap_or(0);
 
         // Sliced column-major values.
         let mut vals = vec![T::ZERO; height * num_cols];
@@ -251,9 +249,8 @@ impl<T: Scalar, W: Symbol> BroEll<T, W> {
             let row0 = s * self.slice_height;
             for r in 0..slice.height {
                 // Walk this row's symbols out of the multiplexed stream.
-                let words: Vec<W> = (0..slice.syms_per_row)
-                    .map(|c| slice.stream[c * slice.height + r])
-                    .collect();
+                let words: Vec<W> =
+                    (0..slice.syms_per_row).map(|c| slice.stream[c * slice.height + r]).collect();
                 let mut reader = BitReader::new(&words);
                 let mut col: i64 = -1;
                 for j in 0..slice.num_cols {
@@ -290,7 +287,8 @@ mod tests {
     #[test]
     fn round_trip_paper_example() {
         let coo = paper_matrix();
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
         assert_eq!(bro.decompress(), coo);
     }
 
@@ -299,7 +297,10 @@ mod tests {
         // With h = 2 the paper's example splits into two slices; slice 0
         // holds rows 0..2 (lengths 2 and 5 -> l = 5), slice 1 rows 2..4
         // (lengths 3 and 2 -> l = 3).
-        let bro: BroEll<f64> = BroEll::from_coo(&paper_matrix(), &BroEllConfig { slice_height: 2, ..Default::default() });
+        let bro: BroEll<f64> = BroEll::from_coo(
+            &paper_matrix(),
+            &BroEllConfig { slice_height: 2, ..Default::default() },
+        );
         assert_eq!(bro.num_col(), vec![5, 3]);
         let s0 = &bro.slices()[0];
         // Delta rows: row0 = [1, 2, 0, 0, 0]; row1 = [1, 1, 1, 1, 1].
@@ -309,8 +310,10 @@ mod tests {
 
     #[test]
     fn row_streams_are_symbol_aligned() {
-        let bro: BroEll<f64> =
-            BroEll::from_coo(&paper_matrix(), &BroEllConfig { slice_height: 2, ..Default::default() });
+        let bro: BroEll<f64> = BroEll::from_coo(
+            &paper_matrix(),
+            &BroEllConfig { slice_height: 2, ..Default::default() },
+        );
         for s in bro.slices() {
             let row_bits: u32 = s.bit_alloc.iter().map(|&b| b as u32).sum();
             assert_eq!((row_bits + s.pad_bits) % 32, 0);
@@ -342,15 +345,11 @@ mod tests {
     #[test]
     fn partial_last_slice() {
         // 5 rows with h = 2: three slices, the last with a single row.
-        let coo = CooMatrix::from_triplets(
-            5,
-            6,
-            &[0, 1, 2, 3, 4, 4],
-            &[0, 1, 2, 3, 0, 5],
-            &[1.0; 6],
-        )
-        .unwrap();
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
+        let coo =
+            CooMatrix::from_triplets(5, 6, &[0, 1, 2, 3, 4, 4], &[0, 1, 2, 3, 0, 5], &[1.0; 6])
+                .unwrap();
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
         assert_eq!(bro.slices().len(), 3);
         assert_eq!(bro.slices()[2].height, 1);
         assert_eq!(bro.decompress(), coo);
@@ -359,15 +358,18 @@ mod tests {
     #[test]
     fn empty_rows_within_slice() {
         let coo = CooMatrix::from_triplets(4, 4, &[0, 3], &[1, 2], &[1.0, 2.0]).unwrap();
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 4, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 4, ..Default::default() });
         assert_eq!(bro.decompress(), coo);
     }
 
     #[test]
     fn u64_symbols_round_trip() {
         let coo = paper_matrix();
-        let bro: BroEll<f64, u64> =
-            BroEll::compress(&EllMatrix::from_coo(&coo), &BroEllConfig { slice_height: 3, ..Default::default() });
+        let bro: BroEll<f64, u64> = BroEll::compress(
+            &EllMatrix::from_coo(&coo),
+            &BroEllConfig { slice_height: 3, ..Default::default() },
+        );
         assert_eq!(bro.decompress(), coo);
     }
 
@@ -388,10 +390,12 @@ mod tests {
 
     #[test]
     fn metadata_counted_in_savings() {
-        let bro: BroEll<f64> = BroEll::from_coo(&paper_matrix(), &BroEllConfig { slice_height: 2, ..Default::default() });
+        let bro: BroEll<f64> = BroEll::from_coo(
+            &paper_matrix(),
+            &BroEllConfig { slice_height: 2, ..Default::default() },
+        );
         let sav = bro.space_savings();
-        let stream_bytes: usize =
-            bro.slices().iter().map(|s| s.stream.len() * 4).sum();
+        let stream_bytes: usize = bro.slices().iter().map(|s| s.stream.len() * 4).sum();
         assert!(sav.compressed_bytes > stream_bytes, "metadata must be included");
     }
 }

@@ -132,7 +132,7 @@ mod tests {
     fn large_degree_vertices_capped_without_panic() {
         // A hub exceeding CLIQUE_CAP.
         let n = CLIQUE_CAP + 10;
-        let rows: Vec<usize> = std::iter::repeat(0).take(n - 1).collect();
+        let rows: Vec<usize> = std::iter::repeat_n(0, n - 1).collect();
         let cols: Vec<usize> = (1..n).collect();
         let a = CooMatrix::from_triplets(n, n, &rows, &cols, &vec![1.0; n - 1]).unwrap();
         let p = amd_order(&a);

@@ -123,8 +123,7 @@ impl Cluster {
 
     /// The parenthesized Eqn. (1) term for this cluster.
     fn cost(&self, alpha: u32) -> u64 {
-        self.sum_d.div_ceil(alpha) as u64
-            + self.lines.iter().map(|s| s.len() as u64).sum::<u64>()
+        self.sum_d.div_ceil(alpha) as u64 + self.lines.iter().map(|s| s.len() as u64).sum::<u64>()
     }
 }
 
@@ -286,8 +285,12 @@ mod tests {
         let ell_cfg = BroEllConfig { slice_height: 32, ..Default::default() };
         let before: BroEll<f64> = BroEll::from_coo(&a, &ell_cfg);
         let after: BroEll<f64> = BroEll::from_coo(&p.apply_rows(&a), &ell_cfg);
-        assert!(after.space_savings().eta() >= before.space_savings().eta() - 0.02,
-            "eta before {} after {}", before.space_savings().eta(), after.space_savings().eta());
+        assert!(
+            after.space_savings().eta() >= before.space_savings().eta() - 0.02,
+            "eta before {} after {}",
+            before.space_savings().eta(),
+            after.space_savings().eta()
+        );
     }
 
     #[test]

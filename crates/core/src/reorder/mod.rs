@@ -74,14 +74,8 @@ mod tests {
 
     #[test]
     fn graph_symmetrizes_and_drops_diagonal() {
-        let a = CooMatrix::from_triplets(
-            3,
-            3,
-            &[0, 0, 1, 2],
-            &[0, 2, 1, 1],
-            &[1.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(3, 3, &[0, 0, 1, 2], &[0, 2, 1, 1], &[1.0, 1.0, 1.0, 1.0])
+            .unwrap();
         let g = AdjGraph::from_pattern(&a);
         assert_eq!(g.len(), 3);
         assert_eq!(g.neighbors(0), &[2]);

@@ -108,14 +108,7 @@ mod tests {
     #[test]
     fn handles_disconnected_components() {
         // Two disjoint 2-cliques and an isolated vertex.
-        let a = CooMatrix::from_triplets(
-            5,
-            5,
-            &[0, 1, 2, 3],
-            &[1, 0, 3, 2],
-            &[1.0; 4],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(5, 5, &[0, 1, 2, 3], &[1, 0, 3, 2], &[1.0; 4]).unwrap();
         let p = rcm_order(&a);
         assert_eq!(p.len(), 5);
     }

@@ -25,14 +25,8 @@ mod tests {
     #[test]
     fn orders_descending() {
         // Rows of lengths 1, 3, 2.
-        let a = CooMatrix::from_triplets(
-            3,
-            4,
-            &[0, 1, 1, 1, 2, 2],
-            &[0, 0, 1, 2, 0, 3],
-            &[1.0; 6],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(3, 4, &[0, 1, 1, 1, 2, 2], &[0, 0, 1, 2, 0, 3], &[1.0; 6])
+            .unwrap();
         let p = sorted_by_length_order(&a);
         assert_eq!(p.as_slice(), &[1, 2, 0]);
     }

@@ -178,10 +178,7 @@ fn get_syms<S: Symbol, R: Read>(r: &mut R) -> Result<Vec<S>> {
 // --- BRO-ELL ----------------------------------------------------------------
 
 /// Writes a BRO-ELL matrix to a binary stream.
-pub fn write_bro_ell<T: Scalar, S: Symbol, W: Write>(
-    bro: &BroEll<T, S>,
-    w: &mut W,
-) -> Result<()> {
+pub fn write_bro_ell<T: Scalar, S: Symbol, W: Write>(bro: &BroEll<T, S>, w: &mut W) -> Result<()> {
     put_header(w, 1, T::BYTES as u8, (S::BITS / 8) as u8)?;
     put_u64(w, bro.rows() as u64)?;
     put_u64(w, bro.cols() as u64)?;
@@ -251,7 +248,15 @@ pub fn read_bro_ell<T: Scalar, S: Symbol, R: Read>(r: &mut R) -> Result<BroEll<T
             )));
         }
         total_rows += height;
-        slices.push(BroEllSlice { height, num_cols, bit_alloc, pad_bits, syms_per_row, stream, vals });
+        slices.push(BroEllSlice {
+            height,
+            num_cols,
+            bit_alloc,
+            pad_bits,
+            syms_per_row,
+            stream,
+            vals,
+        });
     }
     if total_rows != rows {
         return Err(SerializeError::Payload(format!(
@@ -264,10 +269,7 @@ pub fn read_bro_ell<T: Scalar, S: Symbol, R: Read>(r: &mut R) -> Result<BroEll<T
 // --- BRO-COO ----------------------------------------------------------------
 
 /// Writes a BRO-COO matrix to a binary stream.
-pub fn write_bro_coo<T: Scalar, S: Symbol, W: Write>(
-    bro: &BroCoo<T, S>,
-    w: &mut W,
-) -> Result<()> {
+pub fn write_bro_coo<T: Scalar, S: Symbol, W: Write>(bro: &BroCoo<T, S>, w: &mut W) -> Result<()> {
     put_header(w, 2, T::BYTES as u8, (S::BITS / 8) as u8)?;
     put_u64(w, bro.rows() as u64)?;
     put_u64(w, bro.cols() as u64)?;
@@ -406,8 +408,7 @@ mod tests {
     #[test]
     fn f32_round_trip() {
         let coo32: CooMatrix<f32> =
-            CooMatrix::from_triplets(3, 3, &[0, 1, 2], &[1, 2, 0], &[1.5f32, -2.25, 3.0])
-                .unwrap();
+            CooMatrix::from_triplets(3, 3, &[0, 1, 2], &[1, 2, 0], &[1.5f32, -2.25, 3.0]).unwrap();
         let bro: BroEll<f32> = BroEll::from_coo(&coo32, &BroEllConfig::default());
         let mut buf = Vec::new();
         write_bro_ell(&bro, &mut buf).unwrap();
@@ -418,8 +419,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut buf = Vec::new();
-        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
-            .unwrap();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf).unwrap();
         buf[0] ^= 0xFF;
         let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, SerializeError::Header(_)), "{err}");
@@ -428,8 +428,7 @@ mod tests {
     #[test]
     fn wrong_scalar_width_rejected() {
         let mut buf = Vec::new();
-        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
-            .unwrap();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf).unwrap();
         let err = read_bro_ell::<f32, u32, _>(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, SerializeError::Header(_)));
     }
@@ -437,11 +436,8 @@ mod tests {
     #[test]
     fn wrong_format_tag_rejected() {
         let mut buf = Vec::new();
-        write_bro_coo(
-            &BroCoo::<f64>::compress(&matrix(), &BroCooConfig::default()),
-            &mut buf,
-        )
-        .unwrap();
+        write_bro_coo(&BroCoo::<f64>::compress(&matrix(), &BroCooConfig::default()), &mut buf)
+            .unwrap();
         let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, SerializeError::Header(_)));
     }
@@ -449,8 +445,7 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let mut buf = Vec::new();
-        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf)
-            .unwrap();
+        write_bro_ell(&BroEll::<f64>::from_coo(&matrix(), &Default::default()), &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let err = read_bro_ell::<f64, u32, _>(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, SerializeError::Io(_) | SerializeError::Payload(_)));

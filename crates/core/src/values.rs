@@ -87,9 +87,7 @@ impl<T: Scalar> CompressedValues<T> {
         let original = self.len() * T::BYTES;
         let compressed = match self {
             CompressedValues::Raw(_) => original,
-            CompressedValues::Dictionary { table, codes } => {
-                table.len() * T::BYTES + codes.len()
-            }
+            CompressedValues::Dictionary { table, codes } => table.len() * T::BYTES + codes.len(),
         };
         SpaceSavings { original_bytes: original, compressed_bytes: compressed }
     }

@@ -136,7 +136,8 @@ impl<T: Scalar> VlqEll<T> {
     pub fn space_savings(&self) -> SpaceSavings {
         SpaceSavings {
             original_bytes: self.rows * self.ell_width * 4,
-            compressed_bytes: self.stream.len() + 4 * self.row_offsets.len()
+            compressed_bytes: self.stream.len()
+                + 4 * self.row_offsets.len()
                 + 4 * self.row_lengths.len(),
         }
     }

@@ -11,15 +11,13 @@ use proptest::prelude::*;
 
 fn arb_coo() -> impl Strategy<Value = CooMatrix<f64>> {
     (1usize..40, 1usize..600).prop_flat_map(|(rows, cols)| {
-        prop::collection::vec((0..rows, 0..cols, 0.5f64..2.0), 0..200).prop_map(
-            move |mut trips| {
-                trips.sort_by_key(|&(r, c, _)| (r, c));
-                trips.dedup_by_key(|&mut (r, c, _)| (r, c));
-                let (ri, (ci, vs)): (Vec<_>, (Vec<_>, Vec<_>)) =
-                    trips.into_iter().map(|(r, c, v)| (r, (c, v))).unzip();
-                CooMatrix::from_triplets(rows, cols, &ri, &ci, &vs).unwrap()
-            },
-        )
+        prop::collection::vec((0..rows, 0..cols, 0.5f64..2.0), 0..200).prop_map(move |mut trips| {
+            trips.sort_by_key(|&(r, c, _)| (r, c));
+            trips.dedup_by_key(|&mut (r, c, _)| (r, c));
+            let (ri, (ci, vs)): (Vec<_>, (Vec<_>, Vec<_>)) =
+                trips.into_iter().map(|(r, c, v)| (r, (c, v))).unzip();
+            CooMatrix::from_triplets(rows, cols, &ri, &ci, &vs).unwrap()
+        })
     })
 }
 

@@ -1,0 +1,116 @@
+//! Interconnect timing model.
+//!
+//! Each device pair is connected by a point-to-point link with a fixed
+//! per-message latency and a sustained bandwidth — the α–β (latency +
+//! inverse-bandwidth) model. The built-in profiles are calibrated to the
+//! effective host-staged throughputs of the era's buses (see DESIGN.md §5):
+//!
+//! | profile     | bandwidth | latency |
+//! |-------------|-----------|---------|
+//! | `pcie_gen2` | 6 GB/s    | 10 µs   |
+//! | `pcie_gen3` | 12 GB/s   | 5 µs    |
+//! | `nvlink`    | 40 GB/s   | 2 µs    |
+//!
+//! A device sends to / receives from its peers one message at a time
+//! (serialized per direction), but the two directions are full duplex, so a
+//! device's exchange time is the larger of its serialized outgoing and
+//! serialized incoming transfer times.
+
+use crate::halo::HaloPlan;
+
+/// A point-to-point link's α–β cost parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Sustained bandwidth in GB/s.
+    pub bw_gbs: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkProfile {
+    /// PCIe gen2 x16, host-staged copies (~6 GB/s effective).
+    pub fn pcie_gen2() -> Self {
+        LinkProfile { name: "PCIe-gen2", bw_gbs: 6.0, latency_s: 10.0e-6 }
+    }
+
+    /// PCIe gen3 x16 with peer-to-peer copies (~12 GB/s effective).
+    pub fn pcie_gen3() -> Self {
+        LinkProfile { name: "PCIe-gen3", bw_gbs: 12.0, latency_s: 5.0e-6 }
+    }
+
+    /// NVLink-class direct link (~40 GB/s effective).
+    pub fn nvlink() -> Self {
+        LinkProfile { name: "NVLink", bw_gbs: 40.0, latency_s: 2.0e-6 }
+    }
+
+    /// Looks a profile up by its CLI name (`pcie-gen2`, `pcie-gen3`,
+    /// `nvlink`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "pcie-gen2" | "pcie2" | "gen2" => Some(Self::pcie_gen2()),
+            "pcie-gen3" | "pcie3" | "gen3" => Some(Self::pcie_gen3()),
+            "nvlink" => Some(Self::nvlink()),
+            _ => None,
+        }
+    }
+
+    /// Time to move one `bytes`-sized message across the link. Zero-byte
+    /// messages are free (they are never sent).
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.latency_s + bytes as f64 / (self.bw_gbs * 1e9)
+        }
+    }
+
+    /// One device's exchange time under a halo plan: the larger of its
+    /// serialized sends and serialized receives, full duplex across
+    /// directions.
+    pub fn exchange_time_s(&self, plan: &HaloPlan, device: usize, val_bytes: usize) -> f64 {
+        let n = plan.len();
+        let send: f64 =
+            (0..n).map(|dst| self.transfer_time_s(plan.pair_bytes(device, dst, val_bytes))).sum();
+        let recv: f64 =
+            (0..n).map(|src| self.transfer_time_s(plan.pair_bytes(src, device, val_bytes))).sum();
+        send.max(recv)
+    }
+}
+
+impl std::fmt::Display for LinkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({:.0} GB/s, {:.0} µs)", self.name, self.bw_gbs, self.latency_s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkProfile::pcie_gen3();
+        let t = l.transfer_time_s(12_000_000);
+        assert!((t - (5.0e-6 + 1.0e-3)).abs() < 1e-12, "t {t}");
+        assert_eq!(l.transfer_time_s(0), 0.0);
+    }
+
+    #[test]
+    fn faster_links_are_faster() {
+        let bytes = 1_000_000;
+        let g2 = LinkProfile::pcie_gen2().transfer_time_s(bytes);
+        let g3 = LinkProfile::pcie_gen3().transfer_time_s(bytes);
+        let nv = LinkProfile::nvlink().transfer_time_s(bytes);
+        assert!(g2 > g3 && g3 > nv);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(LinkProfile::by_name("pcie-gen2").unwrap().name, "PCIe-gen2");
+        assert_eq!(LinkProfile::by_name("PCIE-GEN3").unwrap().name, "PCIe-gen3");
+        assert_eq!(LinkProfile::by_name("nvlink").unwrap().name, "NVLink");
+        assert!(LinkProfile::by_name("infiniband").is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! 1D row-block partitioning for distributed SpMV.
+//!
+//! The matrix is split into one contiguous row block per device, balanced so
+//! each device receives a share of the non-zeros proportional to its weight
+//! (equal weights for a homogeneous cluster, measured-bandwidth weights for
+//! a heterogeneous one). The input vector `x` is distributed conformally:
+//! device `p` owns the slice of `x` aligned with its row block (scaled when
+//! the matrix is rectangular).
+//!
+//! Within a partition, columns are renumbered into two local ranges:
+//!
+//! * **local** columns — owned by this device; the entry can be multiplied
+//!   as soon as the kernel starts;
+//! * **halo** columns — owned by a peer; the entry must wait for the halo
+//!   exchange to deliver the remote `x` values.
+//!
+//! Splitting the partition's entries along that line yields the classic
+//! local/remote two-phase kernel: the local phase overlaps the exchange,
+//! the remote phase runs on the received halo buffer.
+
+use std::ops::Range;
+
+use bro_gpu_sim::DeviceProfile;
+use bro_matrix::{CooMatrix, CsrMatrix, Scalar};
+
+/// Contiguous row and column ownership boundaries for a cluster of `n`
+/// devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    /// `n + 1` row boundaries; device `p` owns rows `row_bounds[p]..row_bounds[p+1]`.
+    row_bounds: Vec<usize>,
+    /// `n + 1` column boundaries; device `p` owns `x[col_bounds[p]..col_bounds[p+1]]`.
+    col_bounds: Vec<usize>,
+}
+
+impl RowPartition {
+    /// Splits `a` into `weights.len()` contiguous row blocks, balancing the
+    /// per-device non-zero count in proportion to each device's weight.
+    ///
+    /// An all-zero matrix (or an all-zero weight vector) falls back to
+    /// proportional row counts, so every input yields a disjoint cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is negative / non-finite.
+    pub fn balanced<T: Scalar>(a: &CsrMatrix<T>, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "at least one device is required");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let rows = a.rows();
+        let total_w: f64 = weights.iter().sum();
+
+        // Cumulative share of the total work each prefix of devices should
+        // take: targets[p] = fraction of work assigned to devices 0..p.
+        let mut targets = Vec::with_capacity(n + 1);
+        let mut acc = 0.0;
+        targets.push(0.0);
+        for &w in weights {
+            acc += if total_w > 0.0 { w / total_w } else { 1.0 / n as f64 };
+            targets.push(acc);
+        }
+        targets[n] = 1.0;
+
+        let nnz = a.nnz();
+        let row_bounds: Vec<usize> = if nnz == 0 {
+            // Degenerate matrix: balance row counts instead of non-zeros.
+            targets.iter().map(|t| (t * rows as f64).round() as usize).collect()
+        } else {
+            // prefix = row_ptr: nnz in rows [0, i) — split where the running
+            // non-zero count crosses each device's cumulative target.
+            let row_ptr = a.row_ptr();
+            let mut bounds = Vec::with_capacity(n + 1);
+            bounds.push(0usize);
+            for &frac in targets.iter().take(n).skip(1) {
+                let target = frac * nnz as f64;
+                let lo = *bounds.last().unwrap();
+                let b = row_ptr.partition_point(|&c| (c as f64) < target).max(lo).min(rows);
+                // partition_point lands one past the last row whose prefix is
+                // below target; step back when the previous boundary is a
+                // strictly better fit to avoid systematic overshoot.
+                let b = if b > lo
+                    && (row_ptr[b - 1] as f64 - target).abs() < (row_ptr[b] as f64 - target).abs()
+                {
+                    b - 1
+                } else {
+                    b
+                };
+                bounds.push(b.max(lo));
+            }
+            bounds.push(rows);
+            bounds
+        };
+        debug_assert!(row_bounds.windows(2).all(|w| w[0] <= w[1]));
+
+        // Conformal x distribution: identical boundaries for square
+        // matrices, proportionally scaled ones otherwise.
+        let cols = a.cols();
+        let col_bounds: Vec<usize> = if cols == rows {
+            row_bounds.clone()
+        } else if rows == 0 {
+            (0..=n).map(|p| p * cols / n).collect()
+        } else {
+            row_bounds
+                .iter()
+                .map(|&b| (b as f64 / rows as f64 * cols as f64).round() as usize)
+                .collect()
+        };
+        let mut part = RowPartition { row_bounds, col_bounds };
+        part.col_bounds[n] = cols;
+        part
+    }
+
+    /// Equal-weight split across `n` devices.
+    pub fn uniform<T: Scalar>(a: &CsrMatrix<T>, n: usize) -> Self {
+        Self::balanced(a, &vec![1.0; n])
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.row_bounds.len() - 1
+    }
+
+    /// True when the partition holds no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The row range owned by device `p`.
+    pub fn rows_of(&self, p: usize) -> Range<usize> {
+        self.row_bounds[p]..self.row_bounds[p + 1]
+    }
+
+    /// The slice of `x` owned by device `p`.
+    pub fn cols_of(&self, p: usize) -> Range<usize> {
+        self.col_bounds[p]..self.col_bounds[p + 1]
+    }
+
+    /// The column ownership boundaries (`len() + 1` entries).
+    pub fn col_bounds(&self) -> &[usize] {
+        &self.col_bounds
+    }
+
+    /// The device owning global column `c`.
+    pub fn owner_of_col(&self, c: usize) -> usize {
+        debug_assert!(c < *self.col_bounds.last().unwrap());
+        // partition_point returns the first boundary strictly above c; the
+        // owner is the device just before it. Empty ranges are skipped
+        // because their upper boundary equals their lower one.
+        self.col_bounds[1..].partition_point(|&b| b <= c)
+    }
+
+    /// Splits `a` into per-device partitions with locally renumbered
+    /// columns.
+    pub fn split<T: Scalar>(&self, a: &CsrMatrix<T>) -> Vec<DevicePartition<T>> {
+        (0..self.len()).map(|p| DevicePartition::extract(self, a, p)).collect()
+    }
+}
+
+/// Weights proportional to each device's measured memory bandwidth — the
+/// quantity SpMV throughput tracks — for heterogeneous clusters.
+pub fn bandwidth_weights(profiles: &[DeviceProfile]) -> Vec<f64> {
+    profiles.iter().map(|p| p.mem_bw_measured_gbs).collect()
+}
+
+/// One device's share of the matrix, with columns renumbered into the
+/// local range (owned `x`) and the halo range (peer-owned `x`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePartition<T: Scalar> {
+    /// Device index within the cluster.
+    pub rank: usize,
+    /// Global rows owned by this device.
+    pub rows: Range<usize>,
+    /// Global columns (entries of `x`) owned by this device.
+    pub owned_cols: Range<usize>,
+    /// Global column ids this device needs from peers, sorted ascending.
+    /// Position `i` in this list is local halo index `i`.
+    pub halo_cols: Vec<u32>,
+    /// Entries whose column is owned locally; columns renumbered to
+    /// `global - owned_cols.start`, shape `rows.len() × owned_cols.len()`.
+    pub local: CooMatrix<T>,
+    /// Entries whose column lives in the halo; columns renumbered to the
+    /// halo index, shape `rows.len() × halo_cols.len()`.
+    pub remote: CooMatrix<T>,
+}
+
+impl<T: Scalar> DevicePartition<T> {
+    fn extract(part: &RowPartition, a: &CsrMatrix<T>, p: usize) -> Self {
+        let rows = part.rows_of(p);
+        let owned = part.cols_of(p);
+
+        // Pass 1: collect the distinct peer-owned columns this block touches.
+        let mut halo_cols: Vec<u32> = Vec::new();
+        for r in rows.clone() {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                if !owned.contains(&(c as usize)) {
+                    halo_cols.push(c);
+                }
+            }
+        }
+        halo_cols.sort_unstable();
+        halo_cols.dedup();
+
+        // Pass 2: split the entries. CSR iteration is row-major with
+        // ascending columns, and both renumberings are monotone, so the two
+        // triplet streams come out already sorted.
+        let mut l = (Vec::new(), Vec::new(), Vec::new());
+        let mut h = (Vec::new(), Vec::new(), Vec::new());
+        for r in rows.clone() {
+            let (cols, vals) = a.row(r);
+            let lr = (r - rows.start) as u32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if owned.contains(&(c as usize)) {
+                    l.0.push(lr);
+                    l.1.push(c - owned.start as u32);
+                    l.2.push(v);
+                } else {
+                    let hi = halo_cols.binary_search(&c).expect("halo column collected in pass 1");
+                    h.0.push(lr);
+                    h.1.push(hi as u32);
+                    h.2.push(v);
+                }
+            }
+        }
+
+        DevicePartition {
+            rank: p,
+            local: CooMatrix::from_sorted_parts(rows.len(), owned.len(), l.0, l.1, l.2),
+            remote: CooMatrix::from_sorted_parts(rows.len(), halo_cols.len(), h.0, h.1, h.2),
+            rows,
+            owned_cols: owned,
+            halo_cols,
+        }
+    }
+
+    /// Non-zeros assigned to this device.
+    pub fn nnz(&self) -> usize {
+        self.local.nnz() + self.remote.nnz()
+    }
+
+    /// Fraction of this device's non-zeros that need halo data.
+    pub fn halo_fraction(&self) -> f64 {
+        if self.nnz() == 0 {
+            0.0
+        } else {
+            self.remote.nnz() as f64 / self.nnz() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_plus_band(n: usize, band: usize) -> CsrMatrix<f64> {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..n {
+            for d in 0..=band {
+                if i + d < n {
+                    r.push(i);
+                    c.push(i + d);
+                    v.push(1.0 + (i * 7 + d) as f64);
+                }
+            }
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(n, n, &r, &c, &v).unwrap())
+    }
+
+    #[test]
+    fn uniform_covers_all_rows_disjointly() {
+        let a = diag_plus_band(100, 3);
+        for n in [1, 2, 4, 8, 13] {
+            let p = RowPartition::uniform(&a, n);
+            assert_eq!(p.len(), n);
+            assert_eq!(p.rows_of(0).start, 0);
+            assert_eq!(p.rows_of(n - 1).end, 100);
+            for i in 1..n {
+                assert_eq!(p.rows_of(i - 1).end, p.rows_of(i).start);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_tracks_nnz_not_rows() {
+        // First 10 rows hold ~90% of the non-zeros.
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        for i in 0..10usize {
+            for j in 0..90usize {
+                r.push(i);
+                c.push(j);
+            }
+        }
+        for i in 10..100usize {
+            r.push(i);
+            c.push(i);
+        }
+        let v = vec![1.0; r.len()];
+        let a = CsrMatrix::from_coo(&CooMatrix::from_triplets(100, 100, &r, &c, &v).unwrap());
+        let p = RowPartition::uniform(&a, 2);
+        // Device 0 should stop well before the halfway row.
+        assert!(p.rows_of(0).end < 20, "boundary {:?}", p.rows_of(0));
+        let parts = p.split(&a);
+        let total = a.nnz() as f64;
+        for dp in &parts {
+            let share = dp.nnz() as f64 / total;
+            assert!((share - 0.5).abs() < 0.1, "device {} share {share}", dp.rank);
+        }
+    }
+
+    #[test]
+    fn weighted_split_respects_weights() {
+        let a = diag_plus_band(1000, 2);
+        let p = RowPartition::balanced(&a, &[3.0, 1.0]);
+        let parts = p.split(&a);
+        let share0 = parts[0].nnz() as f64 / a.nnz() as f64;
+        assert!((share0 - 0.75).abs() < 0.05, "share {share0}");
+    }
+
+    #[test]
+    fn owner_of_col_matches_ranges() {
+        let a = diag_plus_band(97, 2);
+        let p = RowPartition::uniform(&a, 4);
+        for c in 0..97 {
+            let o = p.owner_of_col(c);
+            assert!(p.cols_of(o).contains(&c), "col {c} owner {o}");
+        }
+    }
+
+    #[test]
+    fn renumbering_reconstructs_global_entries() {
+        let a = diag_plus_band(60, 5);
+        let parts = RowPartition::uniform(&a, 3).split(&a);
+        let mut seen = 0usize;
+        for dp in &parts {
+            for (r, c, v) in dp.local.iter() {
+                let gr = dp.rows.start + r as usize;
+                let gc = dp.owned_cols.start + c as usize;
+                let (cols, vals) = a.row(gr);
+                let k = cols.binary_search(&(gc as u32)).expect("entry exists");
+                assert_eq!(vals[k], v);
+                seen += 1;
+            }
+            for (r, c, v) in dp.remote.iter() {
+                let gr = dp.rows.start + r as usize;
+                let gc = dp.halo_cols[c as usize];
+                let (cols, vals) = a.row(gr);
+                let k = cols.binary_search(&gc).expect("entry exists");
+                assert_eq!(vals[k], v);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, a.nnz());
+    }
+
+    #[test]
+    fn halo_cols_are_foreign_and_sorted() {
+        let a = diag_plus_band(80, 7);
+        for dp in RowPartition::uniform(&a, 4).split(&a) {
+            assert!(dp.halo_cols.windows(2).all(|w| w[0] < w[1]));
+            for &c in &dp.halo_cols {
+                assert!(!dp.owned_cols.contains(&(c as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn more_devices_than_rows() {
+        let a = diag_plus_band(3, 1);
+        let p = RowPartition::uniform(&a, 8);
+        let parts = p.split(&a);
+        assert_eq!(parts.iter().map(|d| d.rows.len()).sum::<usize>(), 3);
+        assert_eq!(parts.iter().map(|d| d.nnz()).sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn rectangular_matrix_covers_columns() {
+        let r: Vec<usize> = (0..40).collect();
+        let c: Vec<usize> = (0..40).map(|i| (i * 3) % 90).collect();
+        let v = vec![1.0f64; 40];
+        let a = CsrMatrix::from_coo(&CooMatrix::from_triplets(40, 90, &r, &c, &v).unwrap());
+        let p = RowPartition::uniform(&a, 4);
+        assert_eq!(p.cols_of(0).start, 0);
+        assert_eq!(p.cols_of(3).end, 90);
+        for i in 1..4 {
+            assert_eq!(p.cols_of(i - 1).end, p.cols_of(i).start);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_still_partitions() {
+        let a = CsrMatrix::from_coo(&CooMatrix::<f64>::zeros(10, 10));
+        let parts = RowPartition::uniform(&a, 4).split(&a);
+        assert_eq!(parts.iter().map(|d| d.rows.len()).sum::<usize>(), 10);
+        assert!(parts.iter().all(|d| d.nnz() == 0));
+    }
+
+    #[test]
+    fn bandwidth_weights_order() {
+        let w = bandwidth_weights(&[
+            bro_gpu_sim::DeviceProfile::tesla_c2070(),
+            bro_gpu_sim::DeviceProfile::tesla_k20(),
+        ]);
+        assert!(w[1] > w[0]);
+    }
+}

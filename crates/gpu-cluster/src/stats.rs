@@ -1,0 +1,237 @@
+//! Aggregated reporting for a distributed SpMV.
+
+use bro_gpu_sim::{KernelReport, StatsSnapshot};
+
+/// Timing and traffic breakdown for one device in one distributed SpMV.
+#[derive(Debug, Clone)]
+pub struct DeviceTiming {
+    /// Device index within the cluster.
+    pub rank: usize,
+    /// Device name (from the profile).
+    pub device: &'static str,
+    /// Rows owned.
+    pub rows: usize,
+    /// Non-zeros owned (local + remote).
+    pub nnz: usize,
+    /// Non-zeros in the remote (halo-dependent) phase.
+    pub remote_nnz: usize,
+    /// Halo entries this device receives per exchange.
+    pub halo_cols: usize,
+    /// Local-phase kernel report.
+    pub local: KernelReport,
+    /// Remote-phase kernel report (absent when the halo is empty).
+    pub remote: Option<KernelReport>,
+    /// Merged simulator statistics for both phases.
+    pub snapshot: StatsSnapshot,
+    /// Bytes of `x` sent to peers.
+    pub send_bytes: u64,
+    /// Bytes of `x` received from peers.
+    pub recv_bytes: u64,
+    /// Local-phase kernel time.
+    pub t_local_s: f64,
+    /// Remote-phase kernel time.
+    pub t_remote_s: f64,
+    /// Halo exchange time (overlapped with the local phase).
+    pub t_exchange_s: f64,
+    /// `max(t_local, t_exchange) + t_remote` — this device's critical path.
+    pub t_total_s: f64,
+    /// Useful GFLOP/s delivered by this device over its critical path.
+    pub gflops: f64,
+}
+
+impl DeviceTiming {
+    /// Exchange time actually exposed (not hidden behind the local phase).
+    pub fn exposed_exchange_s(&self) -> f64 {
+        (self.t_exchange_s - self.t_local_s).max(0.0)
+    }
+}
+
+/// Whole-cluster result of one distributed SpMV.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-device breakdowns, rank order.
+    pub devices: Vec<DeviceTiming>,
+    /// Cluster SpMV time: the slowest device's critical path.
+    pub time_s: f64,
+    /// Useful GFLOP/s for the whole matrix (`2·nnz / time`).
+    pub gflops: f64,
+    /// Total non-zeros.
+    pub nnz: usize,
+    /// Distinct halo entries summed over devices.
+    pub halo_cols: usize,
+    /// Fraction of non-zeros in remote phases.
+    pub halo_fraction: f64,
+    /// Bytes of `x` crossing the interconnect per SpMV.
+    pub exchange_bytes: u64,
+    /// One-time exchange metadata as raw `u32` index lists.
+    pub index_bytes_raw: u64,
+    /// One-time exchange metadata BRO-compressed (delta + bit-packed).
+    pub index_bytes_bro: u64,
+    /// Fraction of total exchange time hidden behind local compute, in
+    /// `[0, 1]`; `1.0` when there is nothing to exchange.
+    pub overlap_efficiency: f64,
+}
+
+impl ClusterReport {
+    /// Assembles the cluster view from per-device timings.
+    pub fn from_devices(
+        devices: Vec<DeviceTiming>,
+        exchange_bytes: u64,
+        index_bytes_raw: u64,
+        index_bytes_bro: u64,
+    ) -> Self {
+        let nnz: usize = devices.iter().map(|d| d.nnz).sum();
+        let remote_nnz: usize = devices.iter().map(|d| d.remote_nnz).sum();
+        let halo_cols: usize = devices.iter().map(|d| d.halo_cols).sum();
+        let time_s = devices.iter().map(|d| d.t_total_s).fold(0.0f64, f64::max);
+        let total_exchange: f64 = devices.iter().map(|d| d.t_exchange_s).sum();
+        let exposed: f64 = devices.iter().map(|d| d.exposed_exchange_s()).sum();
+        ClusterReport {
+            gflops: if time_s > 0.0 { 2.0 * nnz as f64 / time_s / 1e9 } else { 0.0 },
+            time_s,
+            nnz,
+            halo_cols,
+            halo_fraction: if nnz == 0 { 0.0 } else { remote_nnz as f64 / nnz as f64 },
+            exchange_bytes,
+            index_bytes_raw,
+            index_bytes_bro,
+            overlap_efficiency: if total_exchange > 0.0 {
+                1.0 - exposed / total_exchange
+            } else {
+                1.0
+            },
+            devices,
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Ratio of the slowest device's busy time to the mean busy time —
+    /// `1.0` is perfectly balanced.
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.devices.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let mean: f64 = self.devices.iter().map(|d| d.t_total_s).sum::<f64>() / n as f64;
+        if mean > 0.0 {
+            self.time_s / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} device(s): {:.2} GFLOP/s, {:.3} ms, halo {:.1}% of nnz, \
+             {:.1} KB exchanged, overlap {:.0}%",
+            self.device_count(),
+            self.gflops,
+            self.time_s * 1e3,
+            self.halo_fraction * 100.0,
+            self.exchange_bytes as f64 / 1e3,
+            self.overlap_efficiency * 100.0,
+        )?;
+        for d in &self.devices {
+            writeln!(
+                f,
+                "  rank {} [{}]: {} rows, {} nnz ({} remote), {:.2} GFLOP/s, \
+                 local {:.3} ms, exch {:.3} ms, remote {:.3} ms",
+                d.rank,
+                d.device,
+                d.rows,
+                d.nnz,
+                d.remote_nnz,
+                d.gflops,
+                d.t_local_s * 1e3,
+                d.t_exchange_s * 1e3,
+                d.t_remote_s * 1e3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_gpu_sim::{DeviceProfile, LaunchStats};
+
+    fn timing(rank: usize, t_local: f64, t_exch: f64, t_remote: f64, nnz: usize) -> DeviceTiming {
+        let profile = DeviceProfile::tesla_k20();
+        let stats = LaunchStats { flops: 2 * nnz as u64, ..Default::default() };
+        let report = KernelReport::compute(&profile, &stats, 1, 2 * nnz as u64, 8);
+        let t_total = t_local.max(t_exch) + t_remote;
+        DeviceTiming {
+            rank,
+            device: profile.name,
+            rows: nnz,
+            nnz,
+            remote_nnz: nnz / 10,
+            halo_cols: 4,
+            local: report.clone(),
+            remote: None,
+            snapshot: StatsSnapshot { stats, launches: 1 },
+            send_bytes: 64,
+            recv_bytes: 64,
+            t_local_s: t_local,
+            t_remote_s: t_remote,
+            t_exchange_s: t_exch,
+            t_total_s: t_total,
+            gflops: 2.0 * nnz as f64 / t_total / 1e9,
+        }
+    }
+
+    #[test]
+    fn cluster_time_is_slowest_device() {
+        let r = ClusterReport::from_devices(
+            vec![timing(0, 1e-3, 0.0, 0.0, 100), timing(1, 3e-3, 0.0, 0.0, 100)],
+            128,
+            0,
+            0,
+        );
+        assert!((r.time_s - 3e-3).abs() < 1e-12);
+        assert_eq!(r.nnz, 200);
+        assert!((r.load_imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_efficiency_full_when_hidden() {
+        // Exchange shorter than local compute on every device: fully hidden.
+        let r = ClusterReport::from_devices(
+            vec![timing(0, 2e-3, 1e-3, 1e-4, 50), timing(1, 2e-3, 5e-4, 1e-4, 50)],
+            64,
+            0,
+            0,
+        );
+        assert_eq!(r.overlap_efficiency, 1.0);
+    }
+
+    #[test]
+    fn overlap_efficiency_partial_when_exposed() {
+        // Device 0's exchange is twice its local phase: half exposed.
+        let r = ClusterReport::from_devices(vec![timing(0, 1e-3, 2e-3, 0.0, 50)], 64, 0, 0);
+        assert!((r.overlap_efficiency - 0.5).abs() < 1e-9);
+        assert!((r.time_s - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_exchange_counts_as_fully_overlapped() {
+        let r = ClusterReport::from_devices(vec![timing(0, 1e-3, 0.0, 0.0, 50)], 0, 0, 0);
+        assert_eq!(r.overlap_efficiency, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_ranks() {
+        let r = ClusterReport::from_devices(vec![timing(0, 1e-3, 0.0, 0.0, 50)], 0, 0, 0);
+        let s = r.to_string();
+        assert!(s.contains("rank 0"));
+        assert!(s.contains("GFLOP/s"));
+    }
+}

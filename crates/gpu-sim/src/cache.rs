@@ -144,11 +144,11 @@ mod tests {
         let mut c = SetAssocCache::new(128, 32, 2);
         assert_eq!(c.sets(), 2);
         // Lines 0, 2, 4 all map to set 0 (even line numbers).
-        c.access(0 * 32);
+        c.access(0); // line 0
         c.access(2 * 32);
-        c.access(0 * 32); // touch line 0: line 2 becomes LRU
+        c.access(0); // touch line 0: line 2 becomes LRU
         c.access(4 * 32); // evicts line 2
-        assert!(c.access(0 * 32), "line 0 must have survived");
+        assert!(c.access(0), "line 0 must have survived");
         assert!(!c.access(2 * 32), "line 2 must have been evicted");
     }
 

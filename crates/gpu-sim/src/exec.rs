@@ -17,7 +17,7 @@ use rayon::prelude::*;
 use crate::buffer::{AddrSpace, BufferAddr};
 use crate::cache::SetAssocCache;
 use crate::device::DeviceProfile;
-use crate::stats::LaunchStats;
+use crate::stats::{LaunchStats, StatsSnapshot};
 
 /// A simulated GPU device: a profile plus an address space and the
 /// accumulated statistics of every launch since the last [`DeviceSim::reset_stats`].
@@ -32,7 +32,12 @@ pub struct DeviceSim {
 impl DeviceSim {
     /// Creates a device from a profile.
     pub fn new(profile: DeviceProfile) -> Self {
-        DeviceSim { profile, addr_space: AddrSpace::new(), accumulated: LaunchStats::default(), launches: 0 }
+        DeviceSim {
+            profile,
+            addr_space: AddrSpace::new(),
+            accumulated: LaunchStats::default(),
+            launches: 0,
+        }
     }
 
     /// The device profile.
@@ -74,12 +79,32 @@ impl DeviceSim {
         self.launches = 0;
     }
 
+    /// Copies the accumulated statistics and launch count into an owned
+    /// [`StatsSnapshot`], leaving the device untouched.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { stats: self.accumulated.clone(), launches: self.launches }
+    }
+
+    /// Takes a snapshot and resets the accumulators in one step — the
+    /// natural primitive for per-phase accounting on a long-lived device.
+    pub fn take_snapshot(&mut self) -> StatsSnapshot {
+        let snap = self.snapshot();
+        self.reset_stats();
+        snap
+    }
+
+    /// Merges a snapshot (typically taken from another device) into this
+    /// device's accumulators.
+    pub fn absorb_snapshot(&mut self, snap: &StatsSnapshot) {
+        self.accumulated.merge(&snap.stats);
+        self.launches += snap.launches;
+    }
+
     /// Merges the accumulated statistics and launch count of another device
     /// run into this one. Used by composite kernels (HYB = ELL + COO) whose
     /// parts execute as separate launches that must be reported together.
     pub fn absorb(&mut self, other: &DeviceSim) {
-        self.accumulated.merge(&other.accumulated);
-        self.launches += other.launches;
+        self.absorb_snapshot(&other.snapshot());
     }
 
     /// Launches a grid of `blocks` thread blocks of `threads_per_block`
@@ -418,7 +443,8 @@ mod tests {
             pool.install(|| {
                 let mut s = sim();
                 let outs = s.launch(53, 128, |b, ctx| {
-                    let addrs: Vec<u64> = (0..32).map(|i| (b as u64 * 13 + i) * 32 % 8192).collect();
+                    let addrs: Vec<u64> =
+                        (0..32).map(|i| (b as u64 * 13 + i) * 32 % 8192).collect();
                     ctx.tex_read(&addrs);
                     ctx.global_read(&addrs, 4);
                     b * 3
@@ -427,6 +453,27 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn snapshot_take_and_absorb_round_trip() {
+        let mut a = sim();
+        a.launch(2, 32, |_, ctx| ctx.flops(5));
+        let before = a.snapshot();
+        assert_eq!(before.stats.flops, 10);
+        assert_eq!(before.launches, 1);
+        // snapshot() leaves the device untouched; take_snapshot() resets it.
+        assert_eq!(a.snapshot(), before);
+        let taken = a.take_snapshot();
+        assert_eq!(taken, before);
+        assert_eq!(a.launches(), 0);
+        assert_eq!(a.stats(), &LaunchStats::default());
+        // Absorbing the snapshot restores the totals, same as absorb() did.
+        let mut b = sim();
+        b.launch(1, 32, |_, ctx| ctx.flops(1));
+        b.absorb_snapshot(&taken);
+        assert_eq!(b.stats().flops, 11);
+        assert_eq!(b.launches(), 2);
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use buffer::{AddrSpace, BufferAddr};
 pub use cache::SetAssocCache;
 pub use device::DeviceProfile;
 pub use exec::{BlockCtx, DeviceSim};
-pub use stats::LaunchStats;
+pub use stats::{LaunchStats, StatsSnapshot};
 pub use timing::KernelReport;

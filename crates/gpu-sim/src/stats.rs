@@ -85,6 +85,38 @@ impl LaunchStats {
     }
 }
 
+/// A point-in-time copy of a device's accumulated statistics together with
+/// its launch count.
+///
+/// Snapshots decouple statistics from the [`DeviceSim`](crate::DeviceSim)
+/// that produced them, so multi-device drivers can collect per-device
+/// results, [`merge`](StatsSnapshot::merge) them into cluster aggregates,
+/// and reset devices between phases without losing history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Counter totals at snapshot time.
+    pub stats: LaunchStats,
+    /// Kernel launches at snapshot time.
+    pub launches: usize,
+}
+
+impl StatsSnapshot {
+    /// Merges another snapshot into this one (counters add, launches add).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.stats.merge(&other.stats);
+        self.launches += other.launches;
+    }
+
+    /// Sums a sequence of snapshots into one aggregate.
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a StatsSnapshot>) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for s in snaps {
+            total.merge(s);
+        }
+        total
+    }
+}
+
 impl std::fmt::Display for LaunchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -144,6 +176,37 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("2.00 MB"));
         assert!(text.contains("90% hit"));
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_launches() {
+        let mut a = StatsSnapshot {
+            stats: LaunchStats { flops: 3, global_read_bytes: 64, ..Default::default() },
+            launches: 2,
+        };
+        let b = StatsSnapshot {
+            stats: LaunchStats { flops: 4, int_ops: 9, ..Default::default() },
+            launches: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.stats.flops, 7);
+        assert_eq!(a.stats.int_ops, 9);
+        assert_eq!(a.stats.global_read_bytes, 64);
+        assert_eq!(a.launches, 3);
+    }
+
+    #[test]
+    fn snapshot_merged_sums_sequence() {
+        let snaps: Vec<StatsSnapshot> = (1..=4)
+            .map(|i| StatsSnapshot {
+                stats: LaunchStats { flops: i, ..Default::default() },
+                launches: 1,
+            })
+            .collect();
+        let total = StatsSnapshot::merged(&snaps);
+        assert_eq!(total.stats.flops, 10);
+        assert_eq!(total.launches, 4);
+        assert_eq!(StatsSnapshot::merged([]), StatsSnapshot::default());
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl KernelReport {
         val_bytes: usize,
     ) -> KernelReport {
         let launches = launches.max(1);
-        let blocks_per_launch =
-            (stats.blocks_launched as f64 / launches as f64).max(1.0);
+        let blocks_per_launch = (stats.blocks_launched as f64 / launches as f64).max(1.0);
         let warps_per_block = if stats.blocks_launched == 0 {
             1.0
         } else {
@@ -161,17 +160,25 @@ mod tests {
     #[test]
     fn fewer_bytes_means_faster() {
         let p = DeviceProfile::tesla_c2070();
-        let fast = KernelReport::compute(&p, &stats(1_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
-        let slow = KernelReport::compute(&p, &stats(2_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
+        let fast =
+            KernelReport::compute(&p, &stats(1_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
+        let slow =
+            KernelReport::compute(&p, &stats(2_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
         assert!(fast.gflops > slow.gflops);
     }
 
     #[test]
     fn decode_overhead_slows_compute_bound_kernels() {
         let p = DeviceProfile::gtx680();
-        let plain = KernelReport::compute(&p, &stats(1_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
-        let decoded =
-            KernelReport::compute(&p, &stats(1_000_000, 2_000_000, 500_000_000, 10_000), 1, 2_000_000, 8);
+        let plain =
+            KernelReport::compute(&p, &stats(1_000_000, 2_000_000, 0, 10_000), 1, 2_000_000, 8);
+        let decoded = KernelReport::compute(
+            &p,
+            &stats(1_000_000, 2_000_000, 500_000_000, 10_000),
+            1,
+            2_000_000,
+            8,
+        );
         assert!(decoded.time_s > plain.time_s);
     }
 

@@ -285,8 +285,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let bro: BroCoo<f64> =
-            BroCoo::compress(&CooMatrix::zeros(4, 4), &BroCooConfig::default());
+        let bro: BroCoo<f64> = BroCoo::compress(&CooMatrix::zeros(4, 4), &BroCooConfig::default());
         assert_eq!(bro_coo_spmv(&mut sim(), &bro, &[1.0; 4]), vec![0.0; 4]);
     }
 }

@@ -94,8 +94,11 @@ pub fn bro_ell_spmv<T: Scalar, W: Symbol>(
     let h = bro.slice_height();
 
     // Device allocations: one stream + value buffer per slice, shared x/y.
-    let stream_bufs: Vec<BufferAddr> =
-        bro.slices().iter().map(|s| sim.alloc(s.stream.len().max(1), W::BITS as usize / 8)).collect();
+    let stream_bufs: Vec<BufferAddr> = bro
+        .slices()
+        .iter()
+        .map(|s| sim.alloc(s.stream.len().max(1), W::BITS as usize / 8))
+        .collect();
     let val_bufs: Vec<BufferAddr> =
         bro.slices().iter().map(|s| sim.alloc(s.vals.len().max(1), T::BYTES)).collect();
     let x_buf = sim.alloc(x.len().max(1), T::BYTES);
@@ -106,17 +109,7 @@ pub fn bro_ell_spmv<T: Scalar, W: Symbol>(
     let warp = sim.profile().warp_size;
     let chunks = sim.launch(bro.slices().len(), h, |b, ctx| {
         let slice = &bro.slices()[b];
-        run_slice(
-            ctx,
-            slice,
-            stream_bufs[b],
-            val_bufs[b],
-            x_buf,
-            y_buf,
-            b * h,
-            warp,
-            x,
-        )
+        run_slice(ctx, slice, stream_bufs[b], val_bufs[b], x_buf, y_buf, b * h, warp, x)
     });
     assemble_rows(m, h, chunks)
 }
@@ -220,7 +213,8 @@ mod tests {
     #[test]
     fn matches_reference_on_paper_example() {
         let coo = paper_matrix();
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 2, ..Default::default() });
         let x: Vec<f64> = (0..5).map(|i| i as f64 * 0.5 + 1.0).collect();
         let y = bro_ell_spmv(&mut sim(), &bro, &x);
         assert_vec_approx_eq(&y, &coo.spmv_reference(&x).unwrap(), 1e-12);
@@ -240,7 +234,8 @@ mod tests {
     fn matches_reference_with_u64_symbols() {
         let coo = bro_matrix::generate::laplacian_2d::<f64>(20);
         let ell = EllMatrix::from_coo(&coo);
-        let bro: BroEll<f64, u64> = BroEll::compress(&ell, &BroEllConfig { slice_height: 64, ..Default::default() });
+        let bro: BroEll<f64, u64> =
+            BroEll::compress(&ell, &BroEllConfig { slice_height: 64, ..Default::default() });
         let x: Vec<f64> = (0..400).map(|i| (i as f64).sin() + 2.0).collect();
         let y = bro_ell_spmv(&mut sim(), &bro, &x);
         assert_vec_approx_eq(&y, &CsrMatrix::from_coo(&coo).spmv(&x).unwrap(), 1e-12);
@@ -297,7 +292,8 @@ mod tests {
     fn stream_loads_match_stream_size() {
         // Every symbol of every slice stream is loaded exactly once.
         let coo = bro_matrix::generate::laplacian_2d::<f64>(16);
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 32, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 32, ..Default::default() });
         let y = bro_ell_spmv(&mut sim(), &bro, &vec![1.0; 256]);
         assert_eq!(y.len(), 256);
         // Indirect check: decompress equals original (stream fully consumed
@@ -308,7 +304,8 @@ mod tests {
     #[test]
     fn partial_last_slice_handled() {
         let coo = bro_matrix::generate::laplacian_2d::<f64>(7); // 49 rows
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 32, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 32, ..Default::default() });
         let x: Vec<f64> = (0..49).map(|i| i as f64).collect();
         let y = bro_ell_spmv(&mut sim(), &bro, &x);
         assert_vec_approx_eq(&y, &coo.spmv_reference(&x).unwrap(), 1e-12);
@@ -316,8 +313,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let bro: BroEll<f64> =
-            BroEll::from_coo(&CooMatrix::zeros(0, 0), &BroEllConfig::default());
+        let bro: BroEll<f64> = BroEll::from_coo(&CooMatrix::zeros(0, 0), &BroEllConfig::default());
         assert!(bro_ell_spmv(&mut sim(), &bro, &[]).is_empty());
     }
 }

@@ -23,7 +23,7 @@ pub fn bro_hyb_spmv<T: Scalar, W: Symbol>(
     if bro.coo().nnz() > 0 {
         let mut coo_sim = DeviceSim::new(sim.profile().clone());
         let y_coo = bro_coo_spmv(&mut coo_sim, bro.coo(), x);
-        sim.absorb(&coo_sim);
+        sim.absorb_snapshot(&coo_sim.snapshot());
         for (a, b) in y.iter_mut().zip(y_coo) {
             *a += b;
         }

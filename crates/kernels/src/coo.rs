@@ -78,13 +78,14 @@ pub fn coo_spmv_with<T: Scalar>(
                 // Segmented accumulation, walking entries in order.
                 let mut seg_row = first_row;
                 let mut seg_sum = T::ZERO;
-                let flush = |row: u32, sum: T, direct: &mut Vec<(u32, T)>, carries: &mut Vec<(u32, T)>| {
-                    if row == first_row || row == last_row {
-                        carries.push((row, sum));
-                    } else {
-                        direct.push((row, sum));
-                    }
-                };
+                let flush =
+                    |row: u32, sum: T, direct: &mut Vec<(u32, T)>, carries: &mut Vec<(u32, T)>| {
+                        if row == first_row || row == last_row {
+                            carries.push((row, sum));
+                        } else {
+                            direct.push((row, sum));
+                        }
+                    };
                 for step0 in (0..len).step_by(warp) {
                     let lanes = (len - step0).min(warp);
                     // Three coalesced loads: row, col, val.

@@ -56,8 +56,7 @@ pub fn csr_scalar_spmv<T: Scalar>(sim: &mut DeviceSim, csr: &CsrMatrix<T>, x: &[
             // The warp steps until its longest row is done; in each step
             // every active lane reads position `start + j` of ITS OWN row —
             // scattered addresses, hence poor coalescing.
-            let warp_max =
-                (0..lanes).map(|l| csr.row_len(row0 + w0 + l)).max().unwrap_or(0);
+            let warp_max = (0..lanes).map(|l| csr.row_len(row0 + w0 + l)).max().unwrap_or(0);
             for j in 0..warp_max {
                 let mut col_batch = AddrBatch::new();
                 let mut val_batch = AddrBatch::new();
@@ -145,8 +144,7 @@ pub fn csr_vector_spmv<T: Scalar>(sim: &mut DeviceSim, csr: &CsrMatrix<T>, x: &[
                 ctx.flops(2 * lanes as u64);
                 for l in 0..lanes {
                     let p = chunk0 + l;
-                    sum = csr.values()[p]
-                        .mul_add(x[csr.col_indices()[p] as usize], sum);
+                    sum = csr.values()[p].mul_add(x[csr.col_indices()[p] as usize], sum);
                 }
             }
             // Warp shuffle reduction of the partial sums.
@@ -225,8 +223,7 @@ mod tests {
                 c.push(j * 2);
             }
         }
-        let coo =
-            CooMatrix::from_triplets(n, wide, &r, &c, &vec![1.0; r.len()]).unwrap();
+        let coo = CooMatrix::from_triplets(n, wide, &r, &c, &vec![1.0; r.len()]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let x = vec![1.0; wide];
         let mut s1 = sim();
@@ -243,8 +240,7 @@ mod tests {
 
     #[test]
     fn empty_and_irregular_rows() {
-        let coo = CooMatrix::from_triplets(5, 8, &[0, 0, 3], &[1, 7, 4], &[1.0, 2.0, 3.0])
-            .unwrap();
+        let coo = CooMatrix::from_triplets(5, 8, &[0, 0, 3], &[1, 7, 4], &[1.0, 2.0, 3.0]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let x = vec![1.0; 8];
         let expect = csr.spmv(&x).unwrap();

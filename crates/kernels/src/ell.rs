@@ -64,8 +64,7 @@ pub fn ell_spmv<T: Scalar>(sim: &mut DeviceSim, ell: &EllMatrix<T>, x: &[T]) -> 
                 ctx.flops(2 * active.len() as u64);
                 for (l, c) in active {
                     let r = row0 + w0 + l;
-                    y_local[w0 + l] =
-                        ell.val_at(r, j).mul_add(x[c as usize], y_local[w0 + l]);
+                    y_local[w0 + l] = ell.val_at(r, j).mul_add(x[c as usize], y_local[w0 + l]);
                 }
             }
             // Coalesced store of the warp's results.

@@ -47,8 +47,7 @@ pub fn ellr_spmv<T: Scalar>(sim: &mut DeviceSim, ellr: &EllRMatrix<T>, x: &[T]) 
             ctx.global_read(batch.addrs(), 4);
 
             // The warp iterates to the longest row among its lanes.
-            let warp_max =
-                (0..lanes).map(|l| lengths[row0 + w0 + l] as usize).max().unwrap_or(0);
+            let warp_max = (0..lanes).map(|l| lengths[row0 + w0 + l] as usize).max().unwrap_or(0);
             for j in 0..warp_max {
                 let mut col_batch = AddrBatch::new();
                 let mut val_batch = AddrBatch::new();

@@ -19,7 +19,7 @@ pub fn hyb_spmv<T: Scalar>(sim: &mut DeviceSim, hyb: &HybMatrix<T>, x: &[T]) -> 
         // reset, then merge: same profile, fresh address space.
         let mut coo_sim = DeviceSim::new(sim.profile().clone());
         let y_coo = coo_spmv_with(&mut coo_sim, hyb.coo(), x, crate::coo::DEFAULT_INTERVAL);
-        sim.absorb(&coo_sim);
+        sim.absorb_snapshot(&coo_sim.snapshot());
         for (a, b) in y.iter_mut().zip(y_coo) {
             *a += b;
         }

@@ -54,7 +54,7 @@ pub fn bro_ell_multirow_spmv<T: Scalar>(
 }
 
 /// The reduction kernel summing each group of `t` sub-row results.
-pub fn reduce_subrows<T: Scalar, >(
+pub fn reduce_subrows<T: Scalar>(
     sim: &mut DeviceSim,
     y_sub: &[T],
     rows: usize,

@@ -9,11 +9,7 @@ use bro_matrix::{Scalar, SlicedEllMatrix, INVALID_INDEX};
 use crate::common::{assemble_rows, AddrBatch};
 
 /// Computes `y = A·x` for a Sliced-ELLPACK matrix on the simulated device.
-pub fn sliced_ell_spmv<T: Scalar>(
-    sim: &mut DeviceSim,
-    se: &SlicedEllMatrix<T>,
-    x: &[T],
-) -> Vec<T> {
+pub fn sliced_ell_spmv<T: Scalar>(sim: &mut DeviceSim, se: &SlicedEllMatrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(x.len(), se.cols(), "x length must match matrix columns");
     sim.reset_stats();
     let m = se.rows();

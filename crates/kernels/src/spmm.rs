@@ -25,11 +25,7 @@ fn check_block<T: Scalar>(cols: usize, xs: &[Vec<T>]) {
 }
 
 /// ELLPACK SpMM: `Y[j] = A·X[j]` for every vector in the block.
-pub fn ell_spmm<T: Scalar>(
-    sim: &mut DeviceSim,
-    ell: &EllMatrix<T>,
-    xs: &[Vec<T>],
-) -> Vec<Vec<T>> {
+pub fn ell_spmm<T: Scalar>(sim: &mut DeviceSim, ell: &EllMatrix<T>, xs: &[Vec<T>]) -> Vec<Vec<T>> {
     check_block(ell.cols(), xs);
     sim.reset_stats();
     let m = ell.rows();
@@ -41,8 +37,7 @@ pub fn ell_spmm<T: Scalar>(
     let stride = ell.stride();
     let col_buf = sim.alloc(stride * k, 4);
     let val_buf = sim.alloc(stride * k, T::BYTES);
-    let x_bufs: Vec<BufferAddr> =
-        xs.iter().map(|x| sim.alloc(x.len().max(1), T::BYTES)).collect();
+    let x_bufs: Vec<BufferAddr> = xs.iter().map(|x| sim.alloc(x.len().max(1), T::BYTES)).collect();
     let y_bufs: Vec<BufferAddr> = (0..kvecs).map(|_| sim.alloc(m, T::BYTES)).collect();
 
     let warp = sim.profile().warp_size;
@@ -131,8 +126,7 @@ pub fn bro_ell_spmm<T: Scalar, W: Symbol>(
         .collect();
     let val_bufs: Vec<BufferAddr> =
         bro.slices().iter().map(|s| sim.alloc(s.vals.len().max(1), T::BYTES)).collect();
-    let x_bufs: Vec<BufferAddr> =
-        xs.iter().map(|x| sim.alloc(x.len().max(1), T::BYTES)).collect();
+    let x_bufs: Vec<BufferAddr> = xs.iter().map(|x| sim.alloc(x.len().max(1), T::BYTES)).collect();
     let y_bufs: Vec<BufferAddr> = (0..kvecs).map(|_| sim.alloc(m, T::BYTES)).collect();
     sim.charge_constant(bro.metadata_bytes() as u64);
 
@@ -215,7 +209,7 @@ mod tests {
     use bro_core::BroEllConfig;
     use bro_gpu_sim::DeviceProfile;
     use bro_matrix::scalar::assert_vec_approx_eq;
-    use bro_matrix::{CooMatrix, CsrMatrix};
+    use bro_matrix::CsrMatrix;
 
     fn sim() -> DeviceSim {
         DeviceSim::new(DeviceProfile::tesla_k20())
@@ -242,7 +236,8 @@ mod tests {
     #[test]
     fn bro_spmm_matches_repeated_spmv() {
         let coo = bro_matrix::generate::laplacian_2d::<f64>(16);
-        let bro: BroEll<f64> = BroEll::from_coo(&coo, &BroEllConfig { slice_height: 64, ..Default::default() });
+        let bro: BroEll<f64> =
+            BroEll::from_coo(&coo, &BroEllConfig { slice_height: 64, ..Default::default() });
         let csr = CsrMatrix::from_coo(&coo);
         let xs = block(256, 4);
         let ys = bro_ell_spmm(&mut sim(), &bro, &xs);

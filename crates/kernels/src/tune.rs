@@ -7,15 +7,13 @@
 //! device sweep, the tuner simply measures every candidate end to end,
 //! skipping ELLPACK-family candidates whose padding would explode memory.
 
-use bro_core::{
-    BroCoo, BroCooConfig, BroEll, BroEllConfig, BroEllR, BroHyb, BroHybConfig,
-};
+use bro_core::{BroCoo, BroCooConfig, BroEll, BroEllConfig, BroEllR, BroHyb, BroHybConfig};
 use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport};
 use bro_matrix::{CooMatrix, CsrMatrix, EllMatrix, EllRMatrix, HybMatrix, Scalar};
 
 use crate::{
-    bro_coo_spmv, bro_ell_spmv, bro_ellr_spmv, bro_hyb_spmv, coo_spmv, csr_vector_spmv,
-    ell_spmv, ellr_spmv, hyb_spmv,
+    bro_coo_spmv, bro_ell_spmv, bro_ellr_spmv, bro_hyb_spmv, coo_spmv, csr_vector_spmv, ell_spmv,
+    ellr_spmv, hyb_spmv,
 };
 
 /// The formats the tuner considers.
@@ -114,10 +112,8 @@ pub fn recommend_format<T: Scalar>(
     // HYB-family candidates always apply.
     let hyb = HybMatrix::from_coo(a);
     run(FormatChoice::Hyb, &mut |s| hyb_spmv(s, &hyb, x));
-    let bro_hyb: BroHyb<T> = BroHyb::from_coo(
-        a,
-        &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() },
-    );
+    let bro_hyb: BroHyb<T> =
+        BroHyb::from_coo(a, &BroHybConfig { split_k: Some(hyb.split_k()), ..Default::default() });
     run(FormatChoice::BroHyb, &mut |s| bro_hyb_spmv(s, &bro_hyb, x));
 
     // ELLPACK-family candidates only when padding stays sane.

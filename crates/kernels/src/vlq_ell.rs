@@ -76,9 +76,8 @@ pub fn vlq_ell_spmv<T: Scalar>(sim: &mut DeviceSim, vlq: &VlqEll<T>, x: &[T]) ->
             for j in 0..warp_max {
                 // Decode one varint per active lane, byte by byte: loads are
                 // scattered and the warp iterates to the longest varint.
-                let mut active: Vec<usize> = (0..lanes)
-                    .filter(|&l| j < vlq.row_lengths()[row0 + w0 + l] as usize)
-                    .collect();
+                let mut active: Vec<usize> =
+                    (0..lanes).filter(|&l| j < vlq.row_lengths()[row0 + w0 + l] as usize).collect();
                 let mut decoded: Vec<Option<u64>> = vec![None; lanes];
                 let mut byte_iters = 0u64;
                 let mut pending = active.clone();
@@ -203,8 +202,7 @@ mod tests {
         let mut s2 = sim();
         bro_ell_spmv(&mut s2, &bro, &x);
         // Per byte of compressed data, VLQ needs far more transactions.
-        let vlq_txn_per_byte =
-            s1.stats().global_read_txns as f64 / vlq.stream().len() as f64;
+        let vlq_txn_per_byte = s1.stats().global_read_txns as f64 / vlq.stream().len() as f64;
         let bro_bytes: usize = bro.slices().iter().map(|s| s.stream.len() * 4).sum();
         let bro_txn_per_byte = s2.stats().global_read_txns as f64 / bro_bytes as f64;
         assert!(vlq_txn_per_byte > bro_txn_per_byte);

@@ -84,7 +84,7 @@ fn traffic_is_exactly_scale_invariant_per_element() {
         let coo = dense(m, 8);
         let ell = EllMatrix::from_coo(&coo);
         let mut sim = DeviceSim::new(DeviceProfile::gtx680());
-        ell_spmv(&mut sim, &ell, &vec![1.0; 8]);
+        ell_spmv(&mut sim, &ell, &[1.0; 8]);
         sim.stats().clone()
     };
     let a = run(512);

@@ -72,9 +72,10 @@ impl<T: Scalar> CooMatrix<T> {
     ) -> Self {
         debug_assert_eq!(row_idx.len(), col_idx.len());
         debug_assert_eq!(col_idx.len(), vals.len());
-        debug_assert!(row_idx.windows(2).zip(col_idx.windows(2)).all(|(r, c)| {
-            r[0] < r[1] || (r[0] == r[1] && c[0] < c[1])
-        }));
+        debug_assert!(row_idx
+            .windows(2)
+            .zip(col_idx.windows(2))
+            .all(|(r, c)| { r[0] < r[1] || (r[0] == r[1] && c[0] < c[1]) }));
         debug_assert!(row_idx.iter().all(|&r| (r as usize) < rows));
         debug_assert!(col_idx.iter().all(|&c| (c as usize) < cols));
         CooMatrix { rows, cols, row_idx, col_idx, vals }
@@ -246,7 +247,10 @@ impl<T: Scalar> CooMatrix<T> {
     /// rectangular; 0 for diagonal or empty matrices). RCM exists to shrink
     /// this quantity.
     pub fn bandwidth(&self) -> usize {
-        self.iter().map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs() as usize).max().unwrap_or(0)
+        self.iter()
+            .map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The largest absolute off-diagonal row sum — the diagonal shift that
@@ -311,8 +315,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicates() {
-        let e =
-            CooMatrix::from_triplets(2, 2, &[0, 0], &[1, 1], &[1.0, 2.0]).unwrap_err();
+        let e = CooMatrix::from_triplets(2, 2, &[0, 0], &[1, 1], &[1.0, 2.0]).unwrap_err();
         assert!(matches!(e, MatrixError::DuplicateEntry { row: 0, col: 1 }));
     }
 
@@ -380,14 +383,8 @@ mod tests {
     #[test]
     fn add_diagonal_to_existing_entries() {
         // Paper matrix is 4x5 (not square); build a square one.
-        let a = CooMatrix::from_triplets(
-            3,
-            3,
-            &[0, 0, 1, 2],
-            &[0, 2, 1, 0],
-            &[1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(3, 3, &[0, 0, 1, 2], &[0, 2, 1, 0], &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
         let b = a.add_diagonal(10.0);
         assert_eq!(b.nnz(), 5); // row 2 gains a diagonal entry
         let (cols0, vals0) = b.row(0);
@@ -437,14 +434,8 @@ mod tests {
 
     #[test]
     fn symmetrized_is_symmetric() {
-        let a = CooMatrix::from_triplets(
-            3,
-            3,
-            &[0, 1, 2, 0],
-            &[1, 2, 0, 0],
-            &[2.0, 4.0, 6.0, 1.0],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(3, 3, &[0, 1, 2, 0], &[1, 2, 0, 0], &[2.0, 4.0, 6.0, 1.0])
+            .unwrap();
         let s = a.symmetrized();
         for (r, c, v) in s.iter() {
             let (cols, vals) = s.row(c);
@@ -459,14 +450,7 @@ mod tests {
 
     #[test]
     fn max_offdiag_row_sum() {
-        let a = CooMatrix::from_triplets(
-            2,
-            2,
-            &[0, 0, 1],
-            &[0, 1, 0],
-            &[5.0, -3.0, 2.0],
-        )
-        .unwrap();
+        let a = CooMatrix::from_triplets(2, 2, &[0, 0, 1], &[0, 1, 0], &[5.0, -3.0, 2.0]).unwrap();
         assert_eq!(a.max_offdiag_row_sum(), 3.0);
     }
 }

@@ -112,13 +112,13 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn spmv_into(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut sum = T::ZERO;
             for (&c, &v) in cols.iter().zip(vals.iter()) {
                 sum = v.mul_add(x[c as usize], sum);
             }
-            y[r] = sum;
+            *out = sum;
         }
     }
 
@@ -195,8 +195,7 @@ mod tests {
 
     #[test]
     fn empty_rows_handled() {
-        let coo =
-            CooMatrix::from_triplets(4, 4, &[0, 3], &[1, 2], &[1.0, 2.0]).unwrap();
+        let coo = CooMatrix::from_triplets(4, 4, &[0, 3], &[1, 2], &[1.0, 2.0]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         assert_eq!(csr.row_len(1), 0);
         assert_eq!(csr.row_len(2), 0);

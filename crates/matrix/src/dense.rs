@@ -71,8 +71,8 @@ impl<T: Scalar> DenseMatrix<T> {
         (0..self.rows)
             .map(|r| {
                 let mut sum = T::ZERO;
-                for c in 0..self.cols {
-                    sum = self.at(r, c).mul_add(x[c], sum);
+                for (c, &xc) in x.iter().enumerate() {
+                    sum = self.at(r, c).mul_add(xc, sum);
                 }
                 sum
             })

@@ -129,7 +129,14 @@ pub enum PlacementModel {
 
 impl PlacementModel {
     /// Generates `len` distinct sorted column indices for row `r`.
-    fn place(&self, rng: &mut impl Rng, r: usize, rows: usize, cols: usize, len: usize) -> Vec<u32> {
+    fn place(
+        &self,
+        rng: &mut impl Rng,
+        r: usize,
+        rows: usize,
+        cols: usize,
+        len: usize,
+    ) -> Vec<u32> {
         let len = len.min(cols);
         if len == 0 {
             return Vec::new();
@@ -358,7 +365,12 @@ mod tests {
             PlacementModel::Uniform,
         );
         let st = s.generate::<f64>().stats();
-        assert!(st.std_row_len > st.mean_row_len, "sigma {} <= mu {}", st.std_row_len, st.mean_row_len);
+        assert!(
+            st.std_row_len > st.mean_row_len,
+            "sigma {} <= mu {}",
+            st.std_row_len,
+            st.mean_row_len
+        );
         assert!(st.max_row_len > 100);
     }
 
@@ -443,7 +455,7 @@ mod tests {
         let lens = a.row_lengths();
         assert_eq!(lens[9], 5); // an interior point on an 8x8 grid
         assert_eq!(lens[0], 3); // a corner
-        // Symmetry check via transpose comparison on a few entries.
+                                // Symmetry check via transpose comparison on a few entries.
         for (r, c, v) in a.iter() {
             let (cols, vals) = a.row(c);
             let pos = cols.iter().position(|&cc| cc == r).expect("mirror entry");

@@ -107,18 +107,10 @@ impl<T: Scalar> HybMatrix<T> {
     pub fn to_coo(&self) -> CooMatrix<T> {
         let a = self.ell.to_coo();
         let b = &self.coo;
-        let rows: Vec<usize> = a
-            .row_indices()
-            .iter()
-            .chain(b.row_indices())
-            .map(|&r| r as usize)
-            .collect();
-        let cols: Vec<usize> = a
-            .col_indices()
-            .iter()
-            .chain(b.col_indices())
-            .map(|&c| c as usize)
-            .collect();
+        let rows: Vec<usize> =
+            a.row_indices().iter().chain(b.row_indices()).map(|&r| r as usize).collect();
+        let cols: Vec<usize> =
+            a.col_indices().iter().chain(b.col_indices()).map(|&c| c as usize).collect();
         let vals: Vec<T> = a.values().iter().chain(b.values()).copied().collect();
         CooMatrix::from_triplets(self.rows(), self.cols(), &rows, &cols, &vals)
             .expect("HYB parts are disjoint by construction")
@@ -165,7 +157,7 @@ mod tests {
     fn split_width_skewed_rows() {
         // 9 rows of length 1, 1 row of length 100: threshold m/3 = 3 rows;
         // only 1 row has >= 2 entries, so k stays at 1.
-        let lens: Vec<u32> = std::iter::repeat(1).take(9).chain(std::iter::once(100)).collect();
+        let lens: Vec<u32> = std::iter::repeat_n(1, 9).chain(std::iter::once(100)).collect();
         assert_eq!(HybMatrix::<f64>::split_width(&lens), 1);
     }
 

@@ -77,7 +77,10 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>,
                 break (i + 1, line);
             }
             None => {
-                return Err(MatrixError::Parse { line: line_no, message: "missing size line".into() })
+                return Err(MatrixError::Parse {
+                    line: line_no,
+                    message: "missing size line".into(),
+                })
             }
         }
     };
@@ -110,10 +113,8 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>,
         }
         let mut it = t.split_whitespace();
         let parse_idx = |tok: Option<&str>| -> Result<usize, MatrixError> {
-            let tok = tok.ok_or(MatrixError::Parse {
-                line: i + 1,
-                message: "missing index".into(),
-            })?;
+            let tok =
+                tok.ok_or(MatrixError::Parse { line: i + 1, message: "missing index".into() })?;
             tok.parse::<usize>().map_err(|_| MatrixError::Parse {
                 line: i + 1,
                 message: format!("bad index '{tok}'"),
@@ -130,10 +131,9 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>,
         let v = if pattern {
             T::ONE
         } else {
-            let tok = it.next().ok_or(MatrixError::Parse {
-                line: i + 1,
-                message: "missing value".into(),
-            })?;
+            let tok = it
+                .next()
+                .ok_or(MatrixError::Parse { line: i + 1, message: "missing value".into() })?;
             T::from_f64(tok.parse::<f64>().map_err(|_| MatrixError::Parse {
                 line: i + 1,
                 message: format!("bad value '{tok}'"),
@@ -257,14 +257,9 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let a = CooMatrix::from_triplets(
-            3,
-            4,
-            &[0, 1, 2, 2],
-            &[3, 0, 1, 2],
-            &[0.5, -1.25, 3.0, 1e-8],
-        )
-        .unwrap();
+        let a =
+            CooMatrix::from_triplets(3, 4, &[0, 1, 2, 2], &[3, 0, 1, 2], &[0.5, -1.25, 3.0, 1e-8])
+                .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&a, &mut buf).unwrap();
         let b: CooMatrix<f64> = read_matrix_market(&buf[..]).unwrap();

@@ -104,12 +104,7 @@ pub fn approx_eq<T: Scalar>(a: T, b: T, rel_tol: f64) -> bool {
 pub fn assert_vec_approx_eq<T: Scalar>(a: &[T], b: &[T], rel_tol: f64) {
     assert_eq!(a.len(), b.len(), "vector length mismatch: {} vs {}", a.len(), b.len());
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            approx_eq(x, y, rel_tol),
-            "vectors differ at index {i}: {:?} vs {:?}",
-            x,
-            y
-        );
+        assert!(approx_eq(x, y, rel_tol), "vectors differ at index {i}: {:?} vs {:?}", x, y);
     }
 }
 

@@ -112,8 +112,8 @@ impl SuiteEntry {
             row_lengths,
             placement,
             // Stable per-matrix seed derived from the name.
-            seed: self.name.bytes().fold(0xBAD5_EEDu64, |h, b| {
-                h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
+            seed: self.name.bytes().fold(0x0BAD_5EED_u64, |h, b| {
+                h.wrapping_mul(0x0000_0100_0000_01b3).wrapping_add(b as u64)
             }),
         }
     }
@@ -214,22 +214,166 @@ pub fn test_set_1() -> Vec<SuiteEntry> {
     use StructureClass::*;
     use TestSet::One;
     vec![
-        SuiteEntry { name: "cage12", test_set: One, rows: 130_000, cols: 130_000, nnz: 2_032_536, mu: 15.6, sigma: 4.7, class: Fem { rel_band: 0.10, mean_run: 2.5 } },
-        SuiteEntry { name: "cant", test_set: One, rows: 62_000, cols: 62_000, nnz: 4_007_383, mu: 64.2, sigma: 14.1, class: Fem { rel_band: 0.02, mean_run: 9.0 } },
-        SuiteEntry { name: "consph", test_set: One, rows: 83_000, cols: 83_000, nnz: 6_010_480, mu: 72.1, sigma: 19.1, class: Fem { rel_band: 0.02, mean_run: 8.0 } },
-        SuiteEntry { name: "e40r5000", test_set: One, rows: 17_000, cols: 17_000, nnz: 553_956, mu: 32.1, sigma: 15.5, class: Fem { rel_band: 0.03, mean_run: 8.0 } },
-        SuiteEntry { name: "epb3", test_set: One, rows: 85_000, cols: 85_000, nnz: 463_625, mu: 5.5, sigma: 0.5, class: Fem { rel_band: 0.04, mean_run: 2.0 } },
-        SuiteEntry { name: "lhr71", test_set: One, rows: 70_000, cols: 70_000, nnz: 1_528_092, mu: 21.7, sigma: 26.3, class: Fem { rel_band: 0.05, mean_run: 6.0 } },
-        SuiteEntry { name: "mc2depi", test_set: One, rows: 526_000, cols: 526_000, nnz: 2_100_225, mu: 4.0, sigma: 0.1, class: Lattice2d },
-        SuiteEntry { name: "pdb1HYS", test_set: One, rows: 36_000, cols: 36_000, nnz: 4_344_765, mu: 119.3, sigma: 31.9, class: Fem { rel_band: 0.03, mean_run: 10.0 } },
-        SuiteEntry { name: "qcd5_4", test_set: One, rows: 49_000, cols: 49_000, nnz: 1_916_928, mu: 39.0, sigma: 0.0, class: LatticeQcd },
-        SuiteEntry { name: "rim", test_set: One, rows: 23_000, cols: 23_000, nnz: 1_014_951, mu: 45.0, sigma: 26.6, class: Fem { rel_band: 0.02, mean_run: 10.0 } },
-        SuiteEntry { name: "rma10", test_set: One, rows: 47_000, cols: 47_000, nnz: 2_374_001, mu: 50.7, sigma: 27.8, class: Fem { rel_band: 0.02, mean_run: 9.0 } },
-        SuiteEntry { name: "shipsec1", test_set: One, rows: 141_000, cols: 141_000, nnz: 7_813_404, mu: 55.5, sigma: 11.1, class: Fem { rel_band: 0.015, mean_run: 12.0 } },
-        SuiteEntry { name: "stomach", test_set: One, rows: 213_000, cols: 213_000, nnz: 3_021_648, mu: 14.2, sigma: 5.9, class: Fem { rel_band: 0.12, mean_run: 3.0 } },
-        SuiteEntry { name: "torso3", test_set: One, rows: 259_000, cols: 259_000, nnz: 4_429_042, mu: 17.1, sigma: 4.4, class: Fem { rel_band: 0.08, mean_run: 3.5 } },
-        SuiteEntry { name: "venkat01", test_set: One, rows: 62_000, cols: 62_000, nnz: 1_717_792, mu: 27.5, sigma: 2.3, class: Fem { rel_band: 0.02, mean_run: 7.0 } },
-        SuiteEntry { name: "xenon2", test_set: One, rows: 157_000, cols: 157_000, nnz: 3_866_688, mu: 24.6, sigma: 4.1, class: Fem { rel_band: 0.05, mean_run: 5.0 } },
+        SuiteEntry {
+            name: "cage12",
+            test_set: One,
+            rows: 130_000,
+            cols: 130_000,
+            nnz: 2_032_536,
+            mu: 15.6,
+            sigma: 4.7,
+            class: Fem { rel_band: 0.10, mean_run: 2.5 },
+        },
+        SuiteEntry {
+            name: "cant",
+            test_set: One,
+            rows: 62_000,
+            cols: 62_000,
+            nnz: 4_007_383,
+            mu: 64.2,
+            sigma: 14.1,
+            class: Fem { rel_band: 0.02, mean_run: 9.0 },
+        },
+        SuiteEntry {
+            name: "consph",
+            test_set: One,
+            rows: 83_000,
+            cols: 83_000,
+            nnz: 6_010_480,
+            mu: 72.1,
+            sigma: 19.1,
+            class: Fem { rel_band: 0.02, mean_run: 8.0 },
+        },
+        SuiteEntry {
+            name: "e40r5000",
+            test_set: One,
+            rows: 17_000,
+            cols: 17_000,
+            nnz: 553_956,
+            mu: 32.1,
+            sigma: 15.5,
+            class: Fem { rel_band: 0.03, mean_run: 8.0 },
+        },
+        SuiteEntry {
+            name: "epb3",
+            test_set: One,
+            rows: 85_000,
+            cols: 85_000,
+            nnz: 463_625,
+            mu: 5.5,
+            sigma: 0.5,
+            class: Fem { rel_band: 0.04, mean_run: 2.0 },
+        },
+        SuiteEntry {
+            name: "lhr71",
+            test_set: One,
+            rows: 70_000,
+            cols: 70_000,
+            nnz: 1_528_092,
+            mu: 21.7,
+            sigma: 26.3,
+            class: Fem { rel_band: 0.05, mean_run: 6.0 },
+        },
+        SuiteEntry {
+            name: "mc2depi",
+            test_set: One,
+            rows: 526_000,
+            cols: 526_000,
+            nnz: 2_100_225,
+            mu: 4.0,
+            sigma: 0.1,
+            class: Lattice2d,
+        },
+        SuiteEntry {
+            name: "pdb1HYS",
+            test_set: One,
+            rows: 36_000,
+            cols: 36_000,
+            nnz: 4_344_765,
+            mu: 119.3,
+            sigma: 31.9,
+            class: Fem { rel_band: 0.03, mean_run: 10.0 },
+        },
+        SuiteEntry {
+            name: "qcd5_4",
+            test_set: One,
+            rows: 49_000,
+            cols: 49_000,
+            nnz: 1_916_928,
+            mu: 39.0,
+            sigma: 0.0,
+            class: LatticeQcd,
+        },
+        SuiteEntry {
+            name: "rim",
+            test_set: One,
+            rows: 23_000,
+            cols: 23_000,
+            nnz: 1_014_951,
+            mu: 45.0,
+            sigma: 26.6,
+            class: Fem { rel_band: 0.02, mean_run: 10.0 },
+        },
+        SuiteEntry {
+            name: "rma10",
+            test_set: One,
+            rows: 47_000,
+            cols: 47_000,
+            nnz: 2_374_001,
+            mu: 50.7,
+            sigma: 27.8,
+            class: Fem { rel_band: 0.02, mean_run: 9.0 },
+        },
+        SuiteEntry {
+            name: "shipsec1",
+            test_set: One,
+            rows: 141_000,
+            cols: 141_000,
+            nnz: 7_813_404,
+            mu: 55.5,
+            sigma: 11.1,
+            class: Fem { rel_band: 0.015, mean_run: 12.0 },
+        },
+        SuiteEntry {
+            name: "stomach",
+            test_set: One,
+            rows: 213_000,
+            cols: 213_000,
+            nnz: 3_021_648,
+            mu: 14.2,
+            sigma: 5.9,
+            class: Fem { rel_band: 0.12, mean_run: 3.0 },
+        },
+        SuiteEntry {
+            name: "torso3",
+            test_set: One,
+            rows: 259_000,
+            cols: 259_000,
+            nnz: 4_429_042,
+            mu: 17.1,
+            sigma: 4.4,
+            class: Fem { rel_band: 0.08, mean_run: 3.5 },
+        },
+        SuiteEntry {
+            name: "venkat01",
+            test_set: One,
+            rows: 62_000,
+            cols: 62_000,
+            nnz: 1_717_792,
+            mu: 27.5,
+            sigma: 2.3,
+            class: Fem { rel_band: 0.02, mean_run: 7.0 },
+        },
+        SuiteEntry {
+            name: "xenon2",
+            test_set: One,
+            rows: 157_000,
+            cols: 157_000,
+            nnz: 3_866_688,
+            mu: 24.6,
+            sigma: 4.1,
+            class: Fem { rel_band: 0.05, mean_run: 5.0 },
+        },
     ]
 }
 
@@ -238,20 +382,158 @@ pub fn test_set_2() -> Vec<SuiteEntry> {
     use StructureClass::*;
     use TestSet::Two;
     vec![
-        SuiteEntry { name: "bcsstk32", test_set: Two, rows: 45_000, cols: 45_000, nnz: 2_014_701, mu: 45.2, sigma: 15.5, class: Fem { rel_band: 0.02, mean_run: 10.0 } },
-        SuiteEntry { name: "cop20k_A", test_set: Two, rows: 121_000, cols: 121_000, nnz: 2_624_331, mu: 21.7, sigma: 13.8, class: Circuit { banded_fraction: 0.6, rel_band: 0.05 } },
-        SuiteEntry { name: "ct20stif", test_set: Two, rows: 52_000, cols: 52_000, nnz: 2_698_463, mu: 51.6, sigma: 17.0, class: Fem { rel_band: 0.02, mean_run: 9.0 } },
-        SuiteEntry { name: "gupta2", test_set: Two, rows: 62_000, cols: 62_000, nnz: 4_248_286, mu: 68.5, sigma: 356.0, class: MostlyRegularWithHeavy { light_mean: 32.0, light_std: 12.0, heavy_fraction: 0.006, heavy_range: (1500, 8000), banded_fraction: 0.5 } },
-        SuiteEntry { name: "hvdc2", test_set: Two, rows: 190_000, cols: 190_000, nnz: 1_347_273, mu: 7.1, sigma: 3.8, class: Circuit { banded_fraction: 0.55, rel_band: 0.03 } },
-        SuiteEntry { name: "mac_econ", test_set: Two, rows: 207_000, cols: 207_000, nnz: 1_273_389, mu: 6.2, sigma: 4.4, class: Circuit { banded_fraction: 0.5, rel_band: 0.06 } },
-        SuiteEntry { name: "ohne2", test_set: Two, rows: 181_000, cols: 181_000, nnz: 11_063_545, mu: 61.0, sigma: 21.1, class: Fem { rel_band: 0.015, mean_run: 10.0 } },
-        SuiteEntry { name: "pwtk", test_set: Two, rows: 218_000, cols: 218_000, nnz: 11_634_424, mu: 53.4, sigma: 4.7, class: Fem { rel_band: 0.01, mean_run: 12.0 } },
-        SuiteEntry { name: "rail4284", test_set: Two, rows: 4_300, cols: 109_000, nnz: 11_279_748, mu: 2633.0, sigma: 4209.0, class: WideRows { alpha: 1.35, range: (150, 60_000) } },
-        SuiteEntry { name: "rajat30", test_set: Two, rows: 644_000, cols: 644_000, nnz: 6_175_377, mu: 9.6, sigma: 785.0, class: MostlyRegularWithHeavy { light_mean: 7.0, light_std: 3.0, heavy_fraction: 0.0004, heavy_range: (2000, 120_000), banded_fraction: 0.45 } },
-        SuiteEntry { name: "scircuit", test_set: Two, rows: 171_000, cols: 171_000, nnz: 958_936, mu: 5.6, sigma: 4.4, class: Circuit { banded_fraction: 0.45, rel_band: 0.05 } },
-        SuiteEntry { name: "sme3Da", test_set: Two, rows: 13_000, cols: 13_000, nnz: 874_887, mu: 70.0, sigma: 34.9, class: Fem { rel_band: 0.04, mean_run: 7.0 } },
-        SuiteEntry { name: "twotone", test_set: Two, rows: 121_000, cols: 121_000, nnz: 1_224_224, mu: 10.1, sigma: 15.0, class: HeavyTail { alpha: 2.4, max_len: 200, min_len: 2, banded_fraction: 0.5 } },
-        SuiteEntry { name: "webbase-1M", test_set: Two, rows: 1_000_000, cols: 1_000_000, nnz: 3_105_536, mu: 3.1, sigma: 25.3, class: HeavyTail { alpha: 2.2, max_len: 5000, min_len: 1, banded_fraction: 0.4 } },
+        SuiteEntry {
+            name: "bcsstk32",
+            test_set: Two,
+            rows: 45_000,
+            cols: 45_000,
+            nnz: 2_014_701,
+            mu: 45.2,
+            sigma: 15.5,
+            class: Fem { rel_band: 0.02, mean_run: 10.0 },
+        },
+        SuiteEntry {
+            name: "cop20k_A",
+            test_set: Two,
+            rows: 121_000,
+            cols: 121_000,
+            nnz: 2_624_331,
+            mu: 21.7,
+            sigma: 13.8,
+            class: Circuit { banded_fraction: 0.6, rel_band: 0.05 },
+        },
+        SuiteEntry {
+            name: "ct20stif",
+            test_set: Two,
+            rows: 52_000,
+            cols: 52_000,
+            nnz: 2_698_463,
+            mu: 51.6,
+            sigma: 17.0,
+            class: Fem { rel_band: 0.02, mean_run: 9.0 },
+        },
+        SuiteEntry {
+            name: "gupta2",
+            test_set: Two,
+            rows: 62_000,
+            cols: 62_000,
+            nnz: 4_248_286,
+            mu: 68.5,
+            sigma: 356.0,
+            class: MostlyRegularWithHeavy {
+                light_mean: 32.0,
+                light_std: 12.0,
+                heavy_fraction: 0.006,
+                heavy_range: (1500, 8000),
+                banded_fraction: 0.5,
+            },
+        },
+        SuiteEntry {
+            name: "hvdc2",
+            test_set: Two,
+            rows: 190_000,
+            cols: 190_000,
+            nnz: 1_347_273,
+            mu: 7.1,
+            sigma: 3.8,
+            class: Circuit { banded_fraction: 0.55, rel_band: 0.03 },
+        },
+        SuiteEntry {
+            name: "mac_econ",
+            test_set: Two,
+            rows: 207_000,
+            cols: 207_000,
+            nnz: 1_273_389,
+            mu: 6.2,
+            sigma: 4.4,
+            class: Circuit { banded_fraction: 0.5, rel_band: 0.06 },
+        },
+        SuiteEntry {
+            name: "ohne2",
+            test_set: Two,
+            rows: 181_000,
+            cols: 181_000,
+            nnz: 11_063_545,
+            mu: 61.0,
+            sigma: 21.1,
+            class: Fem { rel_band: 0.015, mean_run: 10.0 },
+        },
+        SuiteEntry {
+            name: "pwtk",
+            test_set: Two,
+            rows: 218_000,
+            cols: 218_000,
+            nnz: 11_634_424,
+            mu: 53.4,
+            sigma: 4.7,
+            class: Fem { rel_band: 0.01, mean_run: 12.0 },
+        },
+        SuiteEntry {
+            name: "rail4284",
+            test_set: Two,
+            rows: 4_300,
+            cols: 109_000,
+            nnz: 11_279_748,
+            mu: 2633.0,
+            sigma: 4209.0,
+            class: WideRows { alpha: 1.35, range: (150, 60_000) },
+        },
+        SuiteEntry {
+            name: "rajat30",
+            test_set: Two,
+            rows: 644_000,
+            cols: 644_000,
+            nnz: 6_175_377,
+            mu: 9.6,
+            sigma: 785.0,
+            class: MostlyRegularWithHeavy {
+                light_mean: 7.0,
+                light_std: 3.0,
+                heavy_fraction: 0.0004,
+                heavy_range: (2000, 120_000),
+                banded_fraction: 0.45,
+            },
+        },
+        SuiteEntry {
+            name: "scircuit",
+            test_set: Two,
+            rows: 171_000,
+            cols: 171_000,
+            nnz: 958_936,
+            mu: 5.6,
+            sigma: 4.4,
+            class: Circuit { banded_fraction: 0.45, rel_band: 0.05 },
+        },
+        SuiteEntry {
+            name: "sme3Da",
+            test_set: Two,
+            rows: 13_000,
+            cols: 13_000,
+            nnz: 874_887,
+            mu: 70.0,
+            sigma: 34.9,
+            class: Fem { rel_band: 0.04, mean_run: 7.0 },
+        },
+        SuiteEntry {
+            name: "twotone",
+            test_set: Two,
+            rows: 121_000,
+            cols: 121_000,
+            nnz: 1_224_224,
+            mu: 10.1,
+            sigma: 15.0,
+            class: HeavyTail { alpha: 2.4, max_len: 200, min_len: 2, banded_fraction: 0.5 },
+        },
+        SuiteEntry {
+            name: "webbase-1M",
+            test_set: Two,
+            rows: 1_000_000,
+            cols: 1_000_000,
+            nnz: 3_105_536,
+            mu: 3.1,
+            sigma: 25.3,
+            class: HeavyTail { alpha: 2.2, max_len: 5000, min_len: 1, banded_fraction: 0.4 },
+        },
     ]
 }
 
@@ -333,7 +615,12 @@ mod tests {
         let e = by_name("gupta2").unwrap();
         let a = e.spec(0.1).generate::<f64>();
         let st = a.stats();
-        assert!(st.std_row_len > 3.0 * st.mean_row_len, "sigma {} mu {}", st.std_row_len, st.mean_row_len);
+        assert!(
+            st.std_row_len > 3.0 * st.mean_row_len,
+            "sigma {} mu {}",
+            st.std_row_len,
+            st.mean_row_len
+        );
     }
 
     #[test]

@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn zero_rhs_immediate() {
         let a = nonsym(10);
-        let (x, stats) = bicgstab(|v| a.spmv(v).unwrap(), &vec![0.0; 10], &Default::default());
+        let (x, stats) = bicgstab(|v| a.spmv(v).unwrap(), &[0.0; 10], &Default::default());
         assert!(stats.converged);
         assert_eq!(x, vec![0.0; 10]);
     }

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let (a, _) = poisson_system(4);
-        let (x, stats) = cg(|v| a.spmv(v).unwrap(), &vec![0.0; 16], &CgOptions::default());
+        let (x, stats) = cg(|v| a.spmv(v).unwrap(), &[0.0; 16], &CgOptions::default());
         assert!(stats.converged);
         assert_eq!(stats.iterations, 0);
         assert_eq!(x, vec![0.0; 16]);

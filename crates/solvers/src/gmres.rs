@@ -59,7 +59,7 @@ pub fn gmres<T: Scalar>(
         // Arnoldi basis and Hessenberg matrix (column-major, m+1 rows).
         let mut basis: Vec<Vec<T>> = vec![r];
         let mut h = vec![vec![T::ZERO; m + 1]; m]; // h[j][i]
-        // Givens rotations and the rotated RHS.
+                                                   // Givens rotations and the rotated RHS.
         let mut cs = vec![0.0f64; m];
         let mut sn = vec![0.0f64; m];
         let mut g = vec![0.0f64; m + 1];
@@ -181,8 +181,7 @@ mod tests {
         let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &b, &GmresOptions::default());
         assert!(stats.converged, "residual {}", stats.residual);
         let ax = a.spmv(&x).unwrap();
-        let err: f64 =
-            ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
         assert!(err < 1e-6, "‖Ax − b‖ = {err}");
     }
 
@@ -214,7 +213,7 @@ mod tests {
     #[test]
     fn zero_rhs() {
         let a = nonsym(20);
-        let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &vec![0.0; 20], &Default::default());
+        let (x, stats) = gmres(|v| a.spmv(v).unwrap(), &[0.0; 20], &Default::default());
         assert!(stats.converged);
         assert!(x.iter().all(|&v| v == 0.0));
     }

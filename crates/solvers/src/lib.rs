@@ -9,7 +9,10 @@
 //! The solvers are format-agnostic: they take the matrix as an
 //! `FnMut(&[T]) -> Vec<T>` operator, so the same CG runs against the CPU
 //! reference, a simulated ELLPACK kernel, or a simulated BRO-ELL kernel
-//! (see the `cg_solver` example at the workspace root).
+//! (see the `cg_solver` example at the workspace root). The operator can
+//! even be a whole simulated cluster: `bro-gpu-cluster`'s `cluster_cg`
+//! wraps [`cg`] around a halo-exchanged multi-GPU SpMV, accumulating
+//! per-iteration exchange traffic and overlap statistics.
 
 pub mod bicgstab;
 pub mod cg;

@@ -57,11 +57,7 @@ fn main() {
     assert!(stats_gpu.converged && stats_ref.converged);
 
     // Solutions agree.
-    let max_diff = x_ref
-        .iter()
-        .zip(&x_gpu)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = x_ref.iter().zip(&x_gpu).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |x_cpu - x_gpu| = {max_diff:.2e}");
     assert!(max_diff < 1e-6);
 

@@ -48,10 +48,7 @@ fn main() {
         (bro_hyb.ell_fraction() * 100.0).round()
     );
 
-    println!(
-        "\n{:<12} {:>14} {:>14} {:>14}",
-        "format", "C2070 GF/s", "GTX680 GF/s", "K20 GF/s"
-    );
+    println!("\n{:<12} {:>14} {:>14} {:>14}", "format", "C2070 GF/s", "GTX680 GF/s", "K20 GF/s");
     let verify = |y: &[f64]| {
         for (a, b) in y.iter().zip(&reference) {
             assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "kernel diverged from reference");

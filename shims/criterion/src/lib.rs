@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of [`criterion`](https://docs.rs/criterion)
+//! this workspace uses: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, and `black_box`.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark a
+//! small fixed number of samples and prints the median wall-clock time per
+//! iteration (plus derived throughput when one was declared). That keeps
+//! `cargo bench` functional and the bench targets compiling/runnable
+//! without network access.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, samples: 10, throughput: None }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Cap the shim's sample count: enough for a median, fast everywhere.
+        let samples = self.samples.min(10);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { elapsed_s: 0.0, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                times.push(b.elapsed_s / b.iters as f64);
+            }
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times.get(times.len() / 2).copied().unwrap_or(0.0);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => println!(
+                "  {name}: {:.3} ms/iter, {:.2} GB/s",
+                median * 1e3,
+                n as f64 / median.max(1e-12) / 1e9
+            ),
+            Some(Throughput::Elements(n)) => println!(
+                "  {name}: {:.3} ms/iter, {:.2} Melem/s",
+                median * 1e3,
+                n as f64 / median.max(1e-12) / 1e6
+            ),
+            None => println!("  {name}: {:.3} ms/iter", median * 1e3),
+        }
+        self
+    }
+
+    /// Ends the group (printing nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    elapsed_s: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One untimed warmup, then a single timed pass per sample.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        self.elapsed_s += t0.elapsed().as_secs_f64();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn group_runs_benchmarks() {
+        benches();
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for the subset of [`proptest`](https://docs.rs/proptest)
+//! this workspace uses.
+//!
+//! Provides random-input property testing with the same source-level API:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), range and
+//! tuple strategies, `prop_map` / `prop_flat_map`, `prop::collection::vec` /
+//! `btree_set`, [`any`], and the `prop_assert*` macros. Inputs are generated
+//! from a deterministic per-test seed (hash of module path + test name +
+//! case index), so failures reproduce across runs.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! inputs via the panic message and case index only), and the default case
+//! count is 64 rather than 256 to keep simulator-heavy suites fast.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` macro: wraps `fn name(pat in strategy, ...) { body }`
+/// items into `#[test]` functions that run the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __strategy = ( $($strat,)+ );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u64..=9), f in -1.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators(v in prop::collection::vec((0u32..100).prop_map(|x| x * 2), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| x % 2 == 0 && *x < 200));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..8).prop_flat_map(|n|
+            prop::collection::vec(0usize..n, n..=n).prop_map(move |v| (n, v))
+        )) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn any_and_just(seed in any::<u64>(), tag in Just(7u8)) {
+            let _ = seed;
+            prop_assert_eq!(tag, 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..10);
+        let run = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("det", 0);
+            s.generate(&mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::btree_set(0u32..50, 0..10);
+        let mut rng = crate::test_runner::TestRng::deterministic("btree", 1);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 10);
+            assert!(set.iter().all(|&x| x < 50));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic RNG and run configuration for the proptest shim.
+
+/// Run configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases, mirroring
+    /// `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the simulator-heavy
+        // suites in this workspace fast while still exploring the space.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic per-case generator (FNV-seeded SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identifier and case index, so every test gets an
+    /// independent, reproducible stream.
+    pub fn deterministic(test_id: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h = (h ^ case as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        TestRng { state: h }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, span)` without overflow for any `span > 0`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_tests_get_different_streams() {
+        let a = TestRng::deterministic("mod::a", 0).next_u64();
+        let b = TestRng::deterministic("mod::b", 0).next_u64();
+        let a1 = TestRng::deterministic("mod::a", 1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, a1);
+    }
+
+    #[test]
+    fn below_handles_full_span() {
+        let mut r = TestRng::deterministic("span", 0);
+        let v = r.below(u64::MAX as u128 + 1);
+        assert!(v <= u64::MAX as u128);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the subset of [`rayon`](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build environment cannot fetch crates.io dependencies, so this shim
+//! provides the same API shape backed by `std::thread::scope`: a parallel
+//! iterator is materialized into a `Vec`, split into one contiguous chunk
+//! per worker thread, and the chunks are processed concurrently. Results are
+//! returned in input order, so callers observe the same determinism
+//! guarantees real rayon gives for the patterns used here
+//! (`into_par_iter().map().collect()`, `par_iter_mut().enumerate().for_each()`).
+//!
+//! Covered surface:
+//! * `prelude::*` with [`IntoParallelIterator`] (for `Range<usize>` and
+//!   `Vec<T>`) and [`IntoParallelRefMutIterator`] (for slices and `Vec<T>`),
+//! * `map`, `collect`, `for_each`, `enumerate` on the resulting iterators,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] (the thread count
+//!   bounds the workers used inside `install`).
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator};
+}
+
+std::thread_local! {
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn worker_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .max(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes a worker-thread-count override.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count bounding data-parallel work.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads.filter(|&n| n > 0)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Runs `f` over `items` on up to [`worker_threads`] scoped threads,
+/// preserving input order in the result.
+fn run_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = worker_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split off back-to-front so each chunk is a contiguous input range.
+    let mut bounds: Vec<usize> = (1..threads).map(|i| i * chunk).rev().collect();
+    bounds.retain(|&b| b < n);
+    for b in bounds {
+        chunks.push(items.split_off(b));
+    }
+    chunks.push(items);
+    chunks.reverse();
+    let mut slots: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, chunk_items) in slots.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                *slot = Some(chunk_items.into_iter().map(f).collect());
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.expect("worker thread completed"));
+    }
+    out
+}
+
+/// Conversion into an (eager) parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// An eager "parallel iterator" over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, &|t| f(t));
+    }
+
+    pub fn collect(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Result of [`ParIter::map`]; terminal operations run in parallel.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    pub fn collect(self) -> Vec<R> {
+        run_map(self.items, &self.f)
+    }
+
+    pub fn for_each(self) {
+        run_map(self.items, &self.f);
+    }
+}
+
+/// Conversion of `&mut` collections into a parallel iterator of `&mut T`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self.as_mut_slice() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over mutable references.
+pub struct ParIterMut<'a, T: Send> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { items: self.items }
+    }
+
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        ParIterMutEnumerate { items: self.items }.for_each(|(_, t)| f(t));
+    }
+}
+
+/// Enumerated variant of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T: Send> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let n = self.items.len();
+        let threads = worker_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            for (i, t) in self.items.iter_mut().enumerate() {
+                f((i, t));
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, chunk_items) in self.items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, t) in chunk_items.iter_mut().enumerate() {
+                        f((ci * chunk + i, t));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v: Vec<String> = vec![1, 2, 3].into_par_iter().map(|i: i32| i.to_string()).collect();
+        assert_eq!(v, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 777];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn pool_install_bounds_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out = pool.install(|| (0..100).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -8,25 +8,23 @@
 //! bro-tool spmv      <matrix> [--device D]       simulated BRO-ELL SpMV
 //! bro-tool recommend <matrix> [--device D]       auto-select the format
 //! bro-tool solve     <matrix> [--solver S]       solve A x = b (b = A·1)
+//! bro-tool partition <matrix> [--devices N]      distributed SpMV on N GPUs
 //! bro-tool suite                                 list the Table-2 suite
 //! ```
 //!
 //! `<matrix>` is a `.mtx` MatrixMarket file or the name of a suite matrix
 //! (generated at `--scale`, default 0.1). `D` ∈ {c2070, gtx680, k20}.
 
+use bro_bench::cli::{die, flag_value, parse_flag};
 use bro_spmv::core::{
     analyze_value_compression, write_bro_coo, write_bro_ell, BroCoo, BroCooConfig,
 };
+use bro_spmv::gpu_cluster::{ClusterConfig, ClusterFormat, ClusterSpmv, LinkProfile};
 use bro_spmv::gpu_sim::KernelReport;
 use bro_spmv::kernels::recommend_format;
 use bro_spmv::matrix::{io::read_matrix_market_file, suite};
 use bro_spmv::prelude::*;
 use bro_spmv::solvers::{bicgstab, gmres, BiCgStabOptions, GmresOptions, SolveStats};
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
 
 struct Args {
     positional: Vec<String>,
@@ -34,6 +32,10 @@ struct Args {
     scale: f64,
     coo_format: bool,
     solver: String,
+    devices: usize,
+    link: LinkProfile,
+    format: ClusterFormat,
+    hetero: bool,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -43,27 +45,44 @@ fn parse_args(raw: &[String]) -> Args {
         scale: 0.1,
         coo_format: false,
         solver: "cg".into(),
+        devices: 4,
+        link: LinkProfile::pcie_gen2(),
+        format: ClusterFormat::BroHyb,
+        hetero: false,
     };
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--device" => {
-                let d = it.next().unwrap_or_else(|| die("--device needs a value"));
-                a.device = match d.to_ascii_lowercase().as_str() {
+                a.device = match flag_value(&mut it, "--device").to_ascii_lowercase().as_str() {
                     "c2070" => DeviceProfile::tesla_c2070(),
                     "gtx680" => DeviceProfile::gtx680(),
                     "k20" => DeviceProfile::tesla_k20(),
                     other => die(&format!("unknown device '{other}' (c2070|gtx680|k20)")),
                 };
             }
-            "--scale" => {
-                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
-                a.scale = v.parse().unwrap_or_else(|_| die("bad --scale"));
-            }
+            "--scale" => a.scale = parse_flag(&mut it, "--scale"),
             "--coo" => a.coo_format = true,
-            "--solver" => {
-                a.solver = it.next().unwrap_or_else(|| die("--solver needs a value")).clone();
+            "--solver" => a.solver = flag_value(&mut it, "--solver").to_string(),
+            "--devices" => {
+                a.devices = parse_flag(&mut it, "--devices");
+                if a.devices == 0 {
+                    die("--devices must be at least 1");
+                }
             }
+            "--link" => {
+                let l = flag_value(&mut it, "--link");
+                a.link = LinkProfile::by_name(l).unwrap_or_else(|| {
+                    die(&format!("unknown link '{l}' (pcie-gen2|pcie-gen3|nvlink)"))
+                });
+            }
+            "--format" => {
+                let f = flag_value(&mut it, "--format");
+                a.format = ClusterFormat::by_name(f).unwrap_or_else(|| {
+                    die(&format!("unknown format '{f}' (bro-hyb|hyb|bro-ell|ell|coo)"))
+                });
+            }
+            "--hetero" => a.hetero = true,
             other => a.positional.push(other.to_string()),
         }
     }
@@ -133,11 +152,7 @@ fn cmd_spmv(a: &Args) {
     let reference = csr_spmv(&CsrMatrix::from_coo(&m), &x);
     let mut sim = DeviceSim::new(a.device.clone());
     let y = bro_ell_spmv(&mut sim, &bro, &x);
-    let max_err = y
-        .iter()
-        .zip(&reference)
-        .map(|(p, q)| (p - q).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = y.iter().zip(&reference).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     let report = KernelReport::from_device(&sim, 2 * m.nnz() as u64, 8);
     println!("{report}");
     println!("verified against CPU reference (max |diff| = {max_err:.2e})");
@@ -195,6 +210,62 @@ fn cmd_solve(a: &Args) {
     }
 }
 
+fn cmd_partition(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("partition needs a matrix"));
+    let m = load_matrix(name, a.scale);
+    let csr = CsrMatrix::from_coo(&m);
+    // Homogeneous clusters replicate --device; --hetero cycles the three
+    // evaluation GPUs, exercising the bandwidth-weighted partitioner.
+    let profiles: Vec<DeviceProfile> = if a.hetero {
+        let pool = DeviceProfile::evaluation_set();
+        (0..a.devices).map(|i| pool[i % pool.len()].clone()).collect()
+    } else {
+        vec![a.device.clone(); a.devices]
+    };
+    let config = ClusterConfig { link: a.link.clone(), format: a.format, ..Default::default() };
+    let cluster = ClusterSpmv::build(&csr, &profiles, config);
+
+    println!(
+        "{name}: {} rows, {} nnz, {} device(s), {} partitions, link {}",
+        csr.rows(),
+        csr.nnz(),
+        a.devices,
+        a.format,
+        a.link
+    );
+    println!(
+        "{:<5} {:<12} {:>9} {:>10} {:>10} {:>10}",
+        "rank", "device", "rows", "nnz", "halo cols", "halo %nnz"
+    );
+    for p in cluster.partitions() {
+        println!(
+            "{:<5} {:<12} {:>9} {:>10} {:>10} {:>9.1}%",
+            p.rank,
+            profiles[p.rank].name,
+            p.rows.len(),
+            p.nnz(),
+            p.halo_cols.len(),
+            p.halo_fraction() * 100.0
+        );
+    }
+
+    let x: Vec<f64> = (0..csr.cols()).map(|i| 1.0 + (i % 8) as f64 * 0.25).collect();
+    let (_, report) = cluster.spmv(&x);
+    println!();
+    print!("{report}");
+    println!(
+        "exchange metadata: {} B raw u32 lists, {} B BRO-compressed ({:.1}x)",
+        report.index_bytes_raw,
+        report.index_bytes_bro,
+        if report.index_bytes_bro > 0 {
+            report.index_bytes_raw as f64 / report.index_bytes_bro as f64
+        } else {
+            1.0
+        }
+    );
+    println!("verified against CPU CSR reference");
+}
+
 fn cmd_suite() {
     println!("{:<12} {:>4} {:>12} {:>12} {:>8} {:>8}", "name", "set", "rows", "nnz", "mu", "sigma");
     for e in suite::full_suite() {
@@ -213,10 +284,12 @@ fn cmd_suite() {
     }
 }
 
+const USAGE: &str = "usage: bro-tool <info|compress|spmv|recommend|solve|partition|suite> …";
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
-        eprintln!("usage: bro-tool <info|compress|spmv|recommend|solve|suite> …");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
     let args = parse_args(&raw[1..]);
@@ -226,11 +299,10 @@ fn main() {
         "spmv" => cmd_spmv(&args),
         "recommend" => cmd_recommend(&args),
         "solve" => cmd_solve(&args),
+        "partition" => cmd_partition(&args),
         "suite" => cmd_suite(),
-        "-h" | "--help" => {
-            eprintln!("usage: bro-tool <info|compress|spmv|recommend|solve|suite> …")
-        }
-        other => die(&format!("unknown command '{other}'")),
+        "-h" | "--help" => eprintln!("{USAGE}"),
+        other => die(&format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
 
@@ -245,14 +317,33 @@ mod tests {
         assert_eq!(a.device.name, "Tesla K20");
         assert!(!a.coo_format);
         assert_eq!(a.solver, "cg");
+        assert_eq!(a.devices, 4);
+        assert_eq!(a.link.name, "PCIe-gen2");
+        assert_eq!(a.format, ClusterFormat::BroHyb);
+        assert!(!a.hetero);
+    }
+
+    #[test]
+    fn parse_args_cluster_flags() {
+        let raw: Vec<String> =
+            ["epb3", "--devices", "8", "--link", "nvlink", "--format", "ell", "--hetero"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let a = parse_args(&raw);
+        assert_eq!(a.devices, 8);
+        assert_eq!(a.link.name, "NVLink");
+        assert_eq!(a.format, ClusterFormat::Ell);
+        assert!(a.hetero);
     }
 
     #[test]
     fn parse_args_flags() {
-        let raw: Vec<String> = ["m.mtx", "--device", "c2070", "--scale", "0.5", "--coo", "--solver", "gmres"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let raw: Vec<String> =
+            ["m.mtx", "--device", "c2070", "--scale", "0.5", "--coo", "--solver", "gmres"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let a = parse_args(&raw);
         assert_eq!(a.positional, vec!["m.mtx"]);
         assert_eq!(a.device.name, "Tesla C2070");

@@ -20,6 +20,9 @@
 //! * [`kernels`] — SpMV kernels (classical and BRO) executing on the
 //!   simulator.
 //! * [`solvers`] — CG / BiCGSTAB iterative solvers, the motivating workload.
+//! * [`gpu_cluster`] — simulated multi-GPU distributed SpMV: nnz-balanced
+//!   row-block sharding, halo exchange with BRO-compressed index metadata,
+//!   interconnect timing, and comm/compute overlap.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use bro_bitstream as bitstream;
 pub use bro_core as core;
+pub use bro_gpu_cluster as gpu_cluster;
 pub use bro_gpu_sim as gpu_sim;
 pub use bro_kernels as kernels;
 pub use bro_matrix as matrix;
@@ -50,10 +54,10 @@ pub use bro_solvers as solvers;
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
-    pub use bro_bitstream::{BitReader, BitWriter, bits_for};
+    pub use bro_bitstream::{bits_for, BitReader, BitWriter};
     pub use bro_core::{
-        BroCoo, BroCooConfig, BroEll, BroEllConfig, BroHyb, BroHybConfig,
         reorder::{amd_order, bar_order, rcm_order, BarConfig},
+        BroCoo, BroCooConfig, BroEll, BroEllConfig, BroHyb, BroHybConfig,
     };
     pub use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport};
     pub use bro_kernels::{

@@ -68,14 +68,9 @@ fn single_column() {
 fn tall_and_empty_tail() {
     // Entries only in the first few rows of a tall matrix: most blocks do
     // no work at all.
-    let a = CooMatrix::from_triplets(
-        2000,
-        16,
-        &[0, 1, 2, 3],
-        &[0, 5, 10, 15],
-        &[1.0, 2.0, 3.0, 4.0],
-    )
-    .unwrap();
+    let a =
+        CooMatrix::from_triplets(2000, 16, &[0, 1, 2, 3], &[0, 5, 10, 15], &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
     check_all(&a);
 }
 

@@ -31,8 +31,7 @@ fn arb_matrix_and_x() -> impl Strategy<Value = (CooMatrix<f64>, Vec<f64>)> {
 }
 
 fn close(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * y.abs().max(1.0))
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * y.abs().max(1.0))
 }
 
 proptest! {
