@@ -6,7 +6,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 table5
 //!   fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!   values multirow ablate
+//!   values multirow ablate verify
 //!   all            run everything
 //! options:
 //!   --scale F      matrix scale factor in (0, 1], default 0.1
@@ -44,6 +44,7 @@ experiments:
   divergence extension: BRO-ELL vs CPU-style varint scheme
   solver     extension: solver economics (compression amortization)
   scaling    extension: multi-GPU strong/weak scaling (distributed SpMV)
+  verify     correctness gate: differential fuzzing + golden snapshots
   all     everything above
 
 options:
@@ -116,7 +117,9 @@ fn main() {
         "divergence" => divergence::run(&mut ctx),
         "solver" => solver_exp::run(&mut ctx),
         "scaling" => scaling::run(&mut ctx),
+        "verify" => verify_exp::run(&mut ctx),
         "all" => {
+            verify_exp::run(&mut ctx);
             table1::run(&mut ctx);
             table2::run(&mut ctx);
             fig3::run(&mut ctx);

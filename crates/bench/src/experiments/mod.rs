@@ -22,6 +22,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod values_exp;
+pub mod verify_exp;
 
 use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport};
 

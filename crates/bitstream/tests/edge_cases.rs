@@ -1,0 +1,209 @@
+//! Edge-case coverage for the bitstream pipeline as a whole: zero-width
+//! fields, full-symbol-width fields, empty streams, and maximum-magnitude
+//! deltas pushed through writer → multiplex → demultiplex → reader.
+//!
+//! The per-module unit tests pin each primitive in isolation; these tests
+//! pin the *compositions* the BRO kernels rely on — in particular that the
+//! boundary widths 0 and `W::BITS` survive the full encode/interleave/decode
+//! path, where historically off-by-one shift bugs hide.
+
+use bro_bitstream::{
+    bits_for, delta_decode_row, delta_encode_row, demultiplex, max_bits, multiplex, BitReader,
+    BitString, BitWriter, INVALID_DELTA,
+};
+
+/// Packs one delta row at a fixed width and pads it to the symbol boundary,
+/// exactly as the BRO-ELL builder does per slice row.
+fn pack_row<const PAD_WORDS: bool>(deltas: &[u64], width: u32) -> BitString<u32> {
+    let mut w = BitWriter::<u32>::new();
+    for &d in deltas {
+        w.write(d, width);
+    }
+    let mut s = w.finish();
+    s.pad_to_symbol();
+    if PAD_WORDS {
+        while s.words.len() * 32 < s.len_bits {
+            s.words.push(0);
+        }
+    }
+    s
+}
+
+#[test]
+fn width_zero_row_occupies_no_bits_anywhere() {
+    // A row whose every delta is zero (all padding) gets bit allocation
+    // Γ(0) = 0: the writer emits nothing, the stream stays empty, and the
+    // reader decodes the zeros back without touching memory.
+    let deltas = [INVALID_DELTA; 7];
+    assert_eq!(max_bits(&deltas), 0);
+    let s = pack_row::<false>(&deltas, 0);
+    assert_eq!(s.len_bits, 0);
+    assert!(s.words.is_empty());
+
+    let mut r = BitReader::new(&s.words);
+    for _ in 0..7 {
+        assert_eq!(r.read(0), 0);
+    }
+    assert_eq!(r.bits_consumed(), 0);
+    assert_eq!(r.symbols_loaded(), 0);
+}
+
+#[test]
+fn width_zero_rows_multiplex_to_an_empty_stream() {
+    let rows: Vec<BitString<u32>> = (0..4).map(|_| pack_row::<false>(&[0, 0, 0], 0)).collect();
+    let m = multiplex(&rows).expect("zero-symbol rows are trivially aligned");
+    assert!(m.is_empty());
+    // Demultiplexing the empty stream reproduces four empty rows.
+    let back = demultiplex(&m, 4, 0);
+    assert_eq!(back.len(), 4);
+    assert!(back.iter().all(|b| b.len_bits == 0 && b.words.is_empty()));
+}
+
+#[test]
+fn width_zero_fields_interleaved_with_nonzero_fields() {
+    // Zero-width writes between real writes must not disturb alignment.
+    let mut w = BitWriter::<u32>::new();
+    w.write(0, 0);
+    w.write(0b1011, 4);
+    w.write(0, 0);
+    w.write(0xffff, 16);
+    w.write(0, 0);
+    let s = w.finish();
+    assert_eq!(s.len_bits, 20);
+    let mut r = BitReader::new(&s.words);
+    assert_eq!(r.read(0), 0);
+    assert_eq!(r.read(4), 0b1011);
+    assert_eq!(r.read(0), 0);
+    assert_eq!(r.read(16), 0xffff);
+    assert_eq!(r.bits_consumed(), 20);
+}
+
+#[test]
+fn full_symbol_width_u32_round_trips_through_multiplex() {
+    // Width 32 on a u32 symbol stream: every value is exactly one symbol,
+    // the boundary case of the writer's split path (free == width) and the
+    // reader's branch 2 with an empty buffer (lo_bits == W::BITS).
+    let vals_a = [u32::MAX as u64, 0, 0x8000_0000, 1];
+    let vals_b = [0xdead_beef, 0x0123_4567, u32::MAX as u64, 0x8000_0001];
+    let rows = vec![pack_row::<true>(&vals_a, 32), pack_row::<true>(&vals_b, 32)];
+    assert!(rows.iter().all(|r| r.len_bits == 128));
+
+    let m = multiplex(&rows).unwrap();
+    assert_eq!(m.len(), 8);
+    // Symbol c of row r sits at c*h + r.
+    assert_eq!(m[0], u32::MAX);
+    assert_eq!(m[1], 0xdead_beef);
+
+    for (r_idx, vals) in [vals_a, vals_b].iter().enumerate() {
+        let back = &demultiplex(&m, 2, 4)[r_idx];
+        let mut r = BitReader::new(&back.words);
+        for &v in vals.iter() {
+            assert_eq!(r.read(32), v);
+        }
+        assert_eq!(r.symbols_loaded(), 4);
+    }
+}
+
+#[test]
+fn full_symbol_width_u64_round_trips() {
+    let vals = [u64::MAX, 0, 1u64 << 63, 0x0123_4567_89ab_cdef];
+    let mut w = BitWriter::<u64>::new();
+    for &v in &vals {
+        w.write(v, 64);
+    }
+    let s = w.finish();
+    assert_eq!(s.len_bits, 256);
+    let mut r = BitReader::new(&s.words);
+    for &v in &vals {
+        assert_eq!(r.read(64), v);
+    }
+}
+
+#[test]
+fn empty_stream_is_a_fixed_point_of_the_whole_pipeline() {
+    // Writer side.
+    let s = BitWriter::<u32>::new().finish();
+    assert_eq!(s, BitString::empty());
+    assert_eq!(s.symbol_count(), 0);
+
+    // An empty BitString needs no padding.
+    let mut s2 = BitString::<u32>::empty();
+    assert_eq!(s2.pad_to_symbol(), 0);
+
+    // Multiplexing no rows at all yields an empty stream, as does
+    // demultiplexing it back into zero rows.
+    assert!(multiplex::<u32>(&[]).unwrap().is_empty());
+    assert!(demultiplex::<u32>(&[], 0, 0).is_empty());
+
+    // Reader over the empty stream: zero-width reads are fine forever.
+    let words: [u32; 0] = [];
+    let mut r = BitReader::new(&words);
+    assert_eq!(r.read(0), 0);
+    assert_eq!(r.bits_consumed(), 0);
+}
+
+#[test]
+fn max_delta_symbols_survive_the_full_pipeline() {
+    // The largest delta a u32 column index can produce: a first (and only)
+    // entry at column u32::MAX - 1 encodes as delta u32::MAX, which needs
+    // the full 32 bits — the worst case the paper's Γ allocation admits for
+    // 32-bit symbols.
+    let cols = [u32::MAX - 1];
+    let deltas = delta_encode_row(&cols, 3).unwrap();
+    assert_eq!(deltas, vec![u32::MAX as u64, 0, 0, 0]);
+    let width = max_bits(&deltas);
+    assert_eq!(width, 32);
+    assert_eq!(bits_for(u32::MAX as u64), 32);
+
+    // A companion row in the same slice with small deltas, packed at the
+    // slice-wide width.
+    let cols2 = [0u32, 1, 2, 3];
+    let deltas2 = delta_encode_row(&cols2, 0).unwrap();
+    assert_eq!(deltas2, vec![1, 1, 1, 1]);
+
+    let rows = vec![pack_row::<true>(&deltas, width), pack_row::<true>(&deltas2, width)];
+    let m = multiplex(&rows).unwrap();
+    let back = demultiplex(&m, 2, rows[0].len_bits / 32);
+
+    for (row, expect_cols) in back.iter().zip([&cols[..], &cols2[..]]) {
+        let mut r = BitReader::new(&row.words);
+        let decoded: Vec<u64> = (0..4).map(|_| r.read(width)).collect();
+        assert_eq!(delta_decode_row(&decoded), expect_cols);
+    }
+}
+
+#[test]
+fn max_delta_u64_symbols() {
+    // On u64 symbols the analogous extreme is a 64-bit all-ones value at
+    // width 64 sharing a stream with narrow fields.
+    let mut w = BitWriter::<u64>::new();
+    w.write(1, 1); // force the 64-bit value to straddle a symbol boundary
+    w.write(u64::MAX, 64);
+    w.write(0b10, 2);
+    let s = w.finish();
+    assert_eq!(s.len_bits, 67);
+    let mut r = BitReader::new(&s.words);
+    assert_eq!(r.read(1), 1);
+    assert_eq!(r.read(64), u64::MAX);
+    assert_eq!(r.read(2), 0b10);
+}
+
+#[test]
+fn alternating_extreme_and_zero_widths() {
+    // Stress the accumulator: full-width values separated by zero-width
+    // writes, twice around the symbol ring.
+    let mut w = BitWriter::<u32>::new();
+    for _ in 0..3 {
+        w.write(0, 0);
+        w.write(u32::MAX as u64, 32);
+        w.write(0, 0);
+    }
+    let s = w.finish();
+    assert_eq!(s.len_bits, 96);
+    assert_eq!(s.words, vec![u32::MAX; 3]);
+    let mut r = BitReader::new(&s.words);
+    for _ in 0..3 {
+        assert_eq!(r.read(0), 0);
+        assert_eq!(r.read(32), u32::MAX as u64);
+    }
+}

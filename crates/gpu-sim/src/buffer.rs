@@ -5,6 +5,12 @@
 //! out non-overlapping, 256-byte-aligned base addresses; [`BufferAddr`]
 //! converts element indices to byte addresses.
 
+/// Lowest allocatable address. Everything below is reserved so a zero (or
+/// small) address can serve as a sentinel, and so the execution engine can
+/// tell "no allocations were made" (watermark still at the base) apart from
+/// a real device heap.
+pub const BASE_ADDR: u64 = 0x1000;
+
 /// A bump allocator for simulated device addresses.
 #[derive(Debug, Clone)]
 pub struct AddrSpace {
@@ -18,10 +24,17 @@ impl Default for AddrSpace {
 }
 
 impl AddrSpace {
-    /// A fresh address space. The first allocation starts above zero so a
-    /// zero address can serve as a sentinel.
+    /// A fresh address space starting at [`BASE_ADDR`].
     pub fn new() -> Self {
-        AddrSpace { next: 0x1000 }
+        AddrSpace { next: BASE_ADDR }
+    }
+
+    /// One past the highest address handed out so far (rounded up to the
+    /// allocation alignment); equals [`BASE_ADDR`] while nothing has been
+    /// allocated. Debug builds use this as the bounds-check limit for every
+    /// simulated memory access.
+    pub fn high_watermark(&self) -> u64 {
+        self.next
     }
 
     /// Allocates an array of `len` elements of `elem_bytes` each, aligned to
@@ -84,6 +97,17 @@ mod tests {
         let mut sp = AddrSpace::new();
         let a = sp.alloc(10, 8);
         assert_eq!(a.addr(3) - a.addr(0), 24);
+    }
+
+    #[test]
+    fn high_watermark_tracks_allocations() {
+        let mut sp = AddrSpace::new();
+        assert_eq!(sp.high_watermark(), BASE_ADDR);
+        let a = sp.alloc(100, 8);
+        assert!(sp.high_watermark() >= a.base + 800);
+        let hwm = sp.high_watermark();
+        let _ = sp.alloc(0, 8); // empty allocations do not move the mark
+        assert_eq!(sp.high_watermark(), hwm);
     }
 
     #[test]

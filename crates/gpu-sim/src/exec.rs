@@ -14,7 +14,7 @@
 
 use rayon::prelude::*;
 
-use crate::buffer::{AddrSpace, BufferAddr};
+use crate::buffer::{AddrSpace, BufferAddr, BASE_ADDR};
 use crate::cache::SetAssocCache;
 use crate::device::DeviceProfile;
 use crate::stats::{LaunchStats, StatsSnapshot};
@@ -119,6 +119,7 @@ impl DeviceSim {
         let sms = self.profile.sms;
         let warp = self.profile.warp_size;
         let warps_per_block = threads_per_block.div_ceil(warp) as u64;
+        let hwm = self.addr_space.high_watermark();
 
         let mut per_sm: Vec<(Vec<(usize, O)>, LaunchStats)> = (0..sms)
             .into_par_iter()
@@ -137,6 +138,7 @@ impl DeviceSim {
                         threads: threads_per_block,
                         warp_size: warp,
                         txn_bytes: self.profile.txn_bytes as u64,
+                        hwm,
                         stats: &mut stats,
                         cache: &mut cache,
                         seg_scratch: Vec::with_capacity(warp * 2),
@@ -172,6 +174,7 @@ pub struct BlockCtx<'a> {
     threads: usize,
     warp_size: usize,
     txn_bytes: u64,
+    hwm: u64,
     stats: &'a mut LaunchStats,
     cache: &'a mut SetAssocCache,
     seg_scratch: Vec<u64>,
@@ -193,6 +196,28 @@ impl BlockCtx<'_> {
         self.warp_size
     }
 
+    /// Debug-build bounds check for every simulated memory access.
+    ///
+    /// Active only when the device has real allocations (high watermark
+    /// above [`BASE_ADDR`]); launches that narrate raw synthetic addresses
+    /// without allocating — common in micro-tests — are exempt.
+    fn check_bounds(&self, addrs: &[u64], elem_bytes: u64, what: &str) {
+        if !cfg!(debug_assertions) || self.hwm <= BASE_ADDR {
+            return;
+        }
+        for &a in addrs {
+            assert!(
+                a >= BASE_ADDR && a + elem_bytes <= self.hwm,
+                "simulated {what} out of bounds: [{:#x}, {:#x}) outside the \
+                 allocated device range [{:#x}, {:#x})",
+                a,
+                a + elem_bytes,
+                BASE_ADDR,
+                self.hwm,
+            );
+        }
+    }
+
     /// Counts the memory transactions needed by one warp instruction whose
     /// active lanes touch `[addr, addr + elem_bytes)` for each given address.
     fn coalesce(&mut self, addrs: &[u64], elem_bytes: u64) -> u64 {
@@ -200,6 +225,7 @@ impl BlockCtx<'_> {
             addrs.len() <= self.warp_size,
             "a warp instruction has at most warp_size active lanes"
         );
+        debug_assert!(elem_bytes > 0, "memory accesses move at least one byte per lane");
         self.seg_scratch.clear();
         for &a in addrs {
             let first = a / self.txn_bytes;
@@ -210,7 +236,16 @@ impl BlockCtx<'_> {
         }
         self.seg_scratch.sort_unstable();
         self.seg_scratch.dedup();
-        self.seg_scratch.len() as u64
+        let txns = self.seg_scratch.len() as u64;
+        // Coalescing sanity: a non-empty warp instruction needs at least one
+        // transaction and at most one per segment its lanes can span.
+        debug_assert!(txns >= 1);
+        debug_assert!(
+            txns <= addrs.len() as u64 * (elem_bytes.div_ceil(self.txn_bytes) + 1),
+            "coalescing produced {txns} transactions for {} lanes of {elem_bytes} B",
+            addrs.len(),
+        );
+        txns
     }
 
     /// One warp-level global **load** instruction. `addrs` holds the byte
@@ -219,6 +254,7 @@ impl BlockCtx<'_> {
         if addrs.is_empty() {
             return;
         }
+        self.check_bounds(addrs, elem_bytes, "global load");
         let txns = self.coalesce(addrs, elem_bytes);
         self.stats.global_load_instrs += 1;
         self.stats.global_read_txns += txns;
@@ -230,6 +266,7 @@ impl BlockCtx<'_> {
         if addrs.is_empty() {
             return;
         }
+        self.check_bounds(addrs, elem_bytes, "global store");
         let txns = self.coalesce(addrs, elem_bytes);
         self.stats.global_store_instrs += 1;
         self.stats.global_write_txns += txns;
@@ -242,6 +279,11 @@ impl BlockCtx<'_> {
         if addrs.is_empty() {
             return;
         }
+        debug_assert!(
+            addrs.len() <= self.warp_size,
+            "a warp atomic has at most warp_size active lanes"
+        );
+        self.check_bounds(addrs, 1, "atomic");
         self.seg_scratch.clear();
         self.seg_scratch.extend_from_slice(addrs);
         self.seg_scratch.sort_unstable();
@@ -253,6 +295,7 @@ impl BlockCtx<'_> {
 
     /// Per-lane reads of the input vector through the texture cache.
     pub fn tex_read(&mut self, addrs: &[u64]) {
+        self.check_bounds(addrs, 1, "texture read");
         for &a in addrs {
             self.cache.access(a);
         }
@@ -474,6 +517,86 @@ mod tests {
         b.absorb_snapshot(&taken);
         assert_eq!(b.stats().flops, 11);
         assert_eq!(b.launches(), 2);
+    }
+
+    #[test]
+    fn allocated_accesses_pass_bounds_checks() {
+        let mut s = sim();
+        let buf = s.alloc(64, 8);
+        s.launch(1, 32, |_, ctx| {
+            let addrs: Vec<u64> = (0..32).map(|i| buf.addr(i)).collect();
+            ctx.global_read(&addrs, 8);
+            ctx.global_write(&addrs[..4], 8);
+            ctx.tex_read(&addrs);
+            ctx.atomic_rmw(&addrs[..2]);
+        });
+        assert!(s.stats().global_read_txns > 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "global load out of bounds")]
+    fn read_past_the_heap_panics_in_debug() {
+        let mut s = sim();
+        let buf = s.alloc(4, 8); // heap ends at buf.base + 32 (aligned up)
+        s.launch(1, 32, |_, ctx| {
+            ctx.global_read(&[buf.base + 4096], 8);
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "global store out of bounds")]
+    fn write_below_the_heap_panics_in_debug() {
+        let mut s = sim();
+        let _buf = s.alloc(4, 8);
+        s.launch(1, 32, |_, ctx| {
+            ctx.global_write(&[16], 8); // below BASE_ADDR
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "texture read out of bounds")]
+    fn tex_read_past_the_heap_panics_in_debug() {
+        let mut s = sim();
+        let buf = s.alloc(4, 8);
+        s.launch(1, 32, |_, ctx| {
+            ctx.tex_read(&[buf.base + (1 << 20)]);
+        });
+    }
+
+    #[test]
+    fn raw_addresses_are_exempt_without_allocations() {
+        // Micro-tests narrate synthetic addresses without ever allocating;
+        // the bounds check must stay silent for them.
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            ctx.global_read(&[0, 128, 1 << 40], 8);
+            ctx.tex_read(&[42]);
+        });
+        assert!(s.stats().global_read_txns >= 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "at most warp_size active lanes")]
+    fn oversubscribed_warp_instruction_panics_in_debug() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            let addrs: Vec<u64> = (0..33).map(|i| i * 8).collect();
+            ctx.global_read(&addrs, 8);
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_byte_access_panics_in_debug() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| {
+            ctx.global_read(&[0x1000], 0);
+        });
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod exec;
 pub mod stats;
 pub mod timing;
 
-pub use buffer::{AddrSpace, BufferAddr};
+pub use buffer::{AddrSpace, BufferAddr, BASE_ADDR};
 pub use cache::SetAssocCache;
 pub use device::DeviceProfile;
 pub use exec::{BlockCtx, DeviceSim};

@@ -1,0 +1,208 @@
+//! Registry of every SpMV path under differential test.
+//!
+//! Each [`FormatKind`] knows how to build its storage format from a COO
+//! matrix and run the corresponding simulated kernel, so the fuzzer, the
+//! golden suite, and the CLI all iterate one list. Adding a kernel to
+//! `bro-kernels` without registering it here fails the
+//! `registry_covers_every_exported_kernel` test below.
+
+use bro_core::{BroCoo, BroCooConfig, BroEll, BroEllConfig, BroEllR, BroHyb, BroHybConfig, VlqEll};
+use bro_gpu_cluster::{ClusterConfig, ClusterFormat, ClusterSpmv};
+use bro_gpu_sim::{DeviceProfile, DeviceSim};
+use bro_kernels::{
+    bro_coo_spmv, bro_ell_multirow_spmv, bro_ell_spmm, bro_ell_spmv, bro_ellr_spmv, bro_hyb_spmv,
+    coo_spmv, csr_scalar_spmv, csr_vector_spmv, ell_spmv, ellr_spmv, hyb_spmv, sliced_ell_spmv,
+    vlq_ell_spmv,
+};
+use bro_matrix::{CooMatrix, CsrMatrix, EllMatrix, EllRMatrix, HybMatrix, SlicedEllMatrix};
+
+/// One SpMV implementation under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// ELLPACK, one thread per row.
+    Ell,
+    /// ELLPACK-R (explicit row lengths).
+    EllR,
+    /// Sliced ELLPACK (per-slice widths).
+    SlicedEll,
+    /// HYB = ELL + COO tail.
+    Hyb,
+    /// COO with warp-level segmented reduction.
+    Coo,
+    /// CSR, one thread per row.
+    CsrScalar,
+    /// CSR, one warp per row.
+    CsrVector,
+    /// BRO-ELL (Algorithm 1).
+    BroEll,
+    /// BRO-ELL-R.
+    BroEllR,
+    /// BRO-COO.
+    BroCoo,
+    /// BRO-HYB.
+    BroHyb,
+    /// VLQ-ELL, the CPU-style varint counterfactual.
+    VlqEll,
+    /// BRO-ELL with 2 threads cooperating per row plus a reduction kernel.
+    Multirow,
+    /// BRO-ELL SpMM, single-column block (exercises the SpMM path).
+    Spmm,
+    /// Distributed SpMV across 3 simulated devices (BRO-HYB partitions).
+    Cluster,
+}
+
+impl FormatKind {
+    /// Every registered format.
+    pub fn all() -> &'static [FormatKind] {
+        &[
+            FormatKind::Ell,
+            FormatKind::EllR,
+            FormatKind::SlicedEll,
+            FormatKind::Hyb,
+            FormatKind::Coo,
+            FormatKind::CsrScalar,
+            FormatKind::CsrVector,
+            FormatKind::BroEll,
+            FormatKind::BroEllR,
+            FormatKind::BroCoo,
+            FormatKind::BroHyb,
+            FormatKind::VlqEll,
+            FormatKind::Multirow,
+            FormatKind::Spmm,
+            FormatKind::Cluster,
+        ]
+    }
+
+    /// The subset meaningful for golden perf snapshots (single-device
+    /// kernels; the cluster has its own snapshot schema).
+    pub fn golden_set() -> &'static [FormatKind] {
+        &[
+            FormatKind::Ell,
+            FormatKind::EllR,
+            FormatKind::SlicedEll,
+            FormatKind::Hyb,
+            FormatKind::Coo,
+            FormatKind::CsrScalar,
+            FormatKind::CsrVector,
+            FormatKind::BroEll,
+            FormatKind::BroEllR,
+            FormatKind::BroCoo,
+            FormatKind::BroHyb,
+            FormatKind::VlqEll,
+        ]
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FormatKind::Ell => "ell",
+            FormatKind::EllR => "ellr",
+            FormatKind::SlicedEll => "sliced-ell",
+            FormatKind::Hyb => "hyb",
+            FormatKind::Coo => "coo",
+            FormatKind::CsrScalar => "csr-scalar",
+            FormatKind::CsrVector => "csr-vector",
+            FormatKind::BroEll => "bro-ell",
+            FormatKind::BroEllR => "bro-ellr",
+            FormatKind::BroCoo => "bro-coo",
+            FormatKind::BroHyb => "bro-hyb",
+            FormatKind::VlqEll => "vlq-ell",
+            FormatKind::Multirow => "multirow",
+            FormatKind::Spmm => "spmm",
+            FormatKind::Cluster => "cluster",
+        }
+    }
+
+    /// Looks a format up by its [`FormatKind::name`].
+    pub fn by_name(name: &str) -> Option<FormatKind> {
+        FormatKind::all().iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Computes `y = A·x` through this format on a fresh simulated device,
+    /// leaving the device's statistics covering exactly this run.
+    pub fn run(&self, sim: &mut DeviceSim, a: &CooMatrix<f64>, x: &[f64]) -> Vec<f64> {
+        match self {
+            FormatKind::Ell => ell_spmv(sim, &EllMatrix::from_coo(a), x),
+            FormatKind::EllR => ellr_spmv(sim, &EllRMatrix::from_coo(a), x),
+            FormatKind::SlicedEll => sliced_ell_spmv(sim, &SlicedEllMatrix::from_coo(a, 32), x),
+            FormatKind::Hyb => hyb_spmv(sim, &HybMatrix::from_coo(a), x),
+            FormatKind::Coo => coo_spmv(sim, a, x),
+            FormatKind::CsrScalar => csr_scalar_spmv(sim, &CsrMatrix::from_coo(a), x),
+            FormatKind::CsrVector => csr_vector_spmv(sim, &CsrMatrix::from_coo(a), x),
+            FormatKind::BroEll => {
+                let bro: BroEll<f64> = BroEll::from_coo(a, &BroEllConfig::default());
+                bro_ell_spmv(sim, &bro, x)
+            }
+            FormatKind::BroEllR => {
+                let bro: BroEllR<f64> = BroEllR::from_coo(a, &BroEllConfig::default());
+                bro_ellr_spmv(sim, &bro, x)
+            }
+            FormatKind::BroCoo => {
+                let bro: BroCoo<f64> = BroCoo::compress(a, &BroCooConfig::default());
+                bro_coo_spmv(sim, &bro, x)
+            }
+            FormatKind::BroHyb => {
+                let bro: BroHyb<f64> = BroHyb::from_coo(a, &BroHybConfig::default());
+                bro_hyb_spmv(sim, &bro, x)
+            }
+            FormatKind::VlqEll => vlq_ell_spmv(sim, &VlqEll::from_coo(a), x),
+            FormatKind::Multirow => bro_ell_multirow_spmv(sim, a, x, 2, &BroEllConfig::default()),
+            FormatKind::Spmm => {
+                let bro: BroEll<f64> = BroEll::from_coo(a, &BroEllConfig::default());
+                let ys = bro_ell_spmm(sim, &bro, std::slice::from_ref(&x.to_vec()));
+                ys.into_iter().next().unwrap_or_default()
+            }
+            FormatKind::Cluster => {
+                let csr = CsrMatrix::from_coo(a);
+                let cluster = ClusterSpmv::build(
+                    &csr,
+                    &DeviceProfile::evaluation_set(),
+                    ClusterConfig { format: ClusterFormat::BroHyb, ..Default::default() },
+                );
+                cluster.spmv(x).0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_gpu_sim::DeviceProfile;
+
+    #[test]
+    fn names_round_trip() {
+        for &f in FormatKind::all() {
+            assert_eq!(FormatKind::by_name(f.name()), Some(f));
+        }
+        assert_eq!(FormatKind::by_name("elliptical"), None);
+    }
+
+    #[test]
+    fn every_format_runs_on_a_small_matrix() {
+        let a = bro_matrix::generate::laplacian_2d::<f64>(6);
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let want = a.spmv_reference(&x).unwrap();
+        for &f in FormatKind::all() {
+            let mut sim = DeviceSim::new(DeviceProfile::tesla_k20());
+            let got = f.run(&mut sim, &a, &x);
+            bro_matrix::scalar::assert_vec_approx_eq(&got, &want, 1e-9);
+        }
+    }
+
+    /// Compile-time-ish guard: if `bro-kernels` exports a new `*_spmv`
+    /// kernel, this module must import it (the import list above) and add a
+    /// `FormatKind`. The count below is asserted so a new export without a
+    /// registry entry shows up as a test failure during review.
+    #[test]
+    fn registry_covers_every_exported_kernel() {
+        assert_eq!(FormatKind::all().len(), 15);
+        assert_eq!(FormatKind::golden_set().len(), 12);
+    }
+}

@@ -1,0 +1,355 @@
+//! Structured adversarial matrix generators for the differential fuzzer.
+//!
+//! Each family targets a class of historical SpMV/compression bugs:
+//!
+//! * [`Family::Banded`] — FEM-like diagonal bands: small deltas, exercises
+//!   the common BRO path and slice-boundary handling.
+//! * [`Family::PowerLaw`] — heavy-tailed row lengths: ELLPACK padding
+//!   explosion, HYB split points, warp tails.
+//! * [`Family::DenseRowOutliers`] — a handful of near-dense rows in an
+//!   otherwise sparse matrix: COO interval boundaries, csr-vector long-row
+//!   paths, multirow reductions.
+//! * [`Family::EmptyRowsCols`] — empty rows, empty leading/trailing columns,
+//!   rows at the very edge of the grid: zero-length streams, `k = 0` ELL
+//!   widths, all-padding slices.
+//! * [`Family::NearOverflowDeltas`] — column deltas pushed against power-of-
+//!   two width boundaries (2^k − 1, 2^k, 2^k + 1) and first-column indices
+//!   near the top of the address range: the bit-width edge cases the paper's
+//!   scheme is most sensitive to.
+//! * [`Family::UniformScatter`] — unstructured uniform columns: worst-case
+//!   compressibility and texture locality, catches assumptions of sortedness
+//!   beyond what COO guarantees.
+//! * [`Family::Tiny`] — degenerate shapes (1×1, 1×n, n×1, single entry,
+//!   fully empty): constructor and launch-geometry edge cases.
+
+use bro_matrix::generate::{GeneratorSpec, PlacementModel, RowLengthModel};
+use bro_matrix::CooMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A generator family producing deterministic adversarial matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Diagonal bands with run-structured rows.
+    Banded,
+    /// Heavy-tailed power-law row lengths.
+    PowerLaw,
+    /// Mostly sparse with a few near-dense outlier rows.
+    DenseRowOutliers,
+    /// Empty rows and columns, edge rows.
+    EmptyRowsCols,
+    /// Column deltas straddling bit-width boundaries.
+    NearOverflowDeltas,
+    /// Uniform random scatter.
+    UniformScatter,
+    /// Degenerate tiny shapes.
+    Tiny,
+}
+
+impl Family {
+    /// Every family, in fuzzing order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Banded,
+            Family::PowerLaw,
+            Family::DenseRowOutliers,
+            Family::EmptyRowsCols,
+            Family::NearOverflowDeltas,
+            Family::UniformScatter,
+            Family::Tiny,
+        ]
+    }
+
+    /// Stable lowercase name (used in reports and corpus metadata).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Banded => "banded",
+            Family::PowerLaw => "power-law",
+            Family::DenseRowOutliers => "dense-row-outliers",
+            Family::EmptyRowsCols => "empty-rows-cols",
+            Family::NearOverflowDeltas => "near-overflow-deltas",
+            Family::UniformScatter => "uniform-scatter",
+            Family::Tiny => "tiny",
+        }
+    }
+
+    /// Looks a family up by its [`Family::name`].
+    pub fn by_name(name: &str) -> Option<Family> {
+        Family::all().iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Generates the `seed`-th matrix of this family. Deterministic in
+    /// `(self, seed)`; shapes stay small enough that a full format sweep
+    /// over one case takes well under a second.
+    pub fn generate(&self, seed: u64) -> CooMatrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB120_5EED);
+        match self {
+            Family::Banded => {
+                let rows = rng.gen_range(20..200);
+                let cols = rng.gen_range(20..200);
+                spec(
+                    *self,
+                    seed,
+                    rows,
+                    cols,
+                    RowLengthModel::Normal { mean: 8.0, std: 3.0, min: 1, max: 24 },
+                    PlacementModel::BandedRuns { bandwidth: rng.gen_range(8..64), mean_run: 4.0 },
+                )
+                .generate()
+            }
+            Family::PowerLaw => {
+                let n = rng.gen_range(40..250);
+                spec(
+                    *self,
+                    seed,
+                    n,
+                    n,
+                    RowLengthModel::PowerLaw { min: 1, max: n.min(180), alpha: 1.8 },
+                    PlacementModel::Blend { bandwidth: 32, banded_fraction: 0.5 },
+                )
+                .generate()
+            }
+            Family::DenseRowOutliers => {
+                let rows = rng.gen_range(30..120);
+                let cols = rng.gen_range(60..300);
+                spec(
+                    *self,
+                    seed,
+                    rows,
+                    cols,
+                    RowLengthModel::Mixture {
+                        light: Box::new(RowLengthModel::Constant(2)),
+                        heavy: Box::new(RowLengthModel::Constant(cols.min(256) - 1)),
+                        heavy_fraction: 0.05,
+                    },
+                    PlacementModel::Uniform,
+                )
+                .generate()
+            }
+            Family::EmptyRowsCols => empty_rows_cols(&mut rng),
+            Family::NearOverflowDeltas => near_overflow_deltas(&mut rng),
+            Family::UniformScatter => {
+                let rows = rng.gen_range(10..150);
+                let cols = rng.gen_range(10..400);
+                spec(
+                    *self,
+                    seed,
+                    rows,
+                    cols,
+                    RowLengthModel::Normal { mean: 6.0, std: 6.0, min: 1, max: 40 },
+                    PlacementModel::Uniform,
+                )
+                .generate()
+            }
+            Family::Tiny => tiny(seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn spec(
+    family: Family,
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    row_lengths: RowLengthModel,
+    placement: PlacementModel,
+) -> GeneratorSpec {
+    GeneratorSpec {
+        name: format!("{}-{seed}", family.name()),
+        rows,
+        cols,
+        row_lengths,
+        placement,
+        seed,
+    }
+}
+
+/// Sparse matrix with deliberate empty rows, empty column ranges, and
+/// populated first/last rows and columns.
+fn empty_rows_cols(rng: &mut ChaCha8Rng) -> CooMatrix<f64> {
+    let rows = rng.gen_range(8..80);
+    let cols = rng.gen_range(8..80);
+    let mut r = Vec::new();
+    let mut c = Vec::new();
+    let mut v = Vec::new();
+    for row in 0..rows {
+        // Roughly half the rows are empty, in runs.
+        if (row / 3) % 2 == 1 {
+            continue;
+        }
+        let len = rng.gen_range(1..5.min(cols).max(2));
+        let mut placed = std::collections::BTreeSet::new();
+        // Bias toward the extreme columns so the first and last columns are
+        // exercised while a middle band stays empty.
+        for _ in 0..len {
+            let col = if rng.gen::<bool>() {
+                rng.gen_range(0..(cols / 3).max(1))
+            } else {
+                cols - 1 - rng.gen_range(0..(cols / 3).max(1))
+            };
+            placed.insert(col);
+        }
+        for col in placed {
+            r.push(row);
+            c.push(col);
+            v.push(rng.gen_range(-1.0..1.0f64) + 0.001);
+        }
+    }
+    // Guarantee the very last row/col corner exists at least sometimes.
+    if rng.gen::<bool>() {
+        r.push(rows - 1);
+        c.push(cols - 1);
+        v.push(1.0);
+    }
+    dedup_triplets(rows, cols, r, c, v)
+}
+
+/// Column indices engineered so per-row deltas land on `2^k − 1`, `2^k`,
+/// and `2^k + 1` for the widths the bit allocator actually chooses, plus
+/// first columns near the top of the index range (the `δ₀ = c₀ + 1` path).
+fn near_overflow_deltas(rng: &mut ChaCha8Rng) -> CooMatrix<f64> {
+    let rows = rng.gen_range(8..64);
+    let cols = 1usize << rng.gen_range(10..16); // up to 32768 columns
+    let mut r = Vec::new();
+    let mut c = Vec::new();
+    let mut v = Vec::new();
+    for row in 0..rows {
+        let width = rng.gen_range(1..14u32);
+        let boundary = 1u64 << width;
+        let jitter = [boundary - 1, boundary, boundary + 1];
+        let mut col: u64 = if rng.gen::<bool>() {
+            0
+        } else {
+            // Start high so the first-column delta itself is near a boundary.
+            (boundary - 1).min(cols as u64 - 1)
+        };
+        let mut first = true;
+        loop {
+            if !first {
+                let step = jitter[rng.gen_range(0..3usize)];
+                let Some(next) = col.checked_add(step) else { break };
+                if next >= cols as u64 {
+                    break;
+                }
+                col = next;
+            }
+            first = false;
+            r.push(row as usize);
+            c.push(col as usize);
+            v.push(rng.gen_range(-1.0..1.0f64) + 0.001);
+            if c.len() > 4000 {
+                break;
+            }
+        }
+    }
+    dedup_triplets(rows as usize, cols, r, c, v)
+}
+
+/// Degenerate shapes cycled by seed.
+fn tiny(seed: u64) -> CooMatrix<f64> {
+    match seed % 6 {
+        0 => CooMatrix::from_triplets(1, 1, &[0], &[0], &[2.5]).unwrap(),
+        1 => CooMatrix::from_triplets(1, 7, &[0, 0], &[0, 6], &[1.0, -1.0]).unwrap(),
+        2 => CooMatrix::from_triplets(7, 1, &[0, 6], &[0, 0], &[1.0, 3.0]).unwrap(),
+        3 => CooMatrix::zeros(3, 3),
+        4 => CooMatrix::from_triplets(2, 2, &[1], &[0], &[4.0]).unwrap(),
+        _ => CooMatrix::from_triplets(33, 2, &[0, 16, 32], &[0, 1, 0], &[1.0, 2.0, 3.0]).unwrap(),
+    }
+}
+
+fn dedup_triplets(
+    rows: usize,
+    cols: usize,
+    r: Vec<usize>,
+    c: Vec<usize>,
+    v: Vec<f64>,
+) -> CooMatrix<f64> {
+    let mut trips: Vec<(usize, usize, f64)> =
+        r.into_iter().zip(c).zip(v).map(|((r, c), v)| (r, c, v)).collect();
+    trips.sort_by_key(|a| (a.0, a.1));
+    trips.dedup_by_key(|t| (t.0, t.1));
+    let (r, (c, v)): (Vec<_>, (Vec<_>, Vec<_>)) =
+        trips.into_iter().map(|(r, c, v)| (r, (c, v))).unzip();
+    CooMatrix::from_triplets(rows, cols, &r, &c, &v).expect("generator produced valid triplets")
+}
+
+/// A deterministic input vector matched to the matrix, with values away
+/// from zero so dropped products are visible.
+pub fn input_vector(cols: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x17B0_94D1_C0FF_EE00);
+    (0..cols)
+        .map(|_| rng.gen_range(0.5..2.0) * if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_generate_valid_matrices() {
+        for &f in Family::all() {
+            for seed in 0..4 {
+                let m = f.generate(seed);
+                assert!(
+                    m.col_indices().iter().all(|&c| (c as usize) < m.cols()),
+                    "{f} seed {seed}"
+                );
+                assert!(
+                    m.row_indices().iter().all(|&r| (r as usize) < m.rows()),
+                    "{f} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for &f in Family::all() {
+            assert_eq!(f.generate(7), f.generate(7), "{f}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for &f in Family::all() {
+            assert_eq!(Family::by_name(f.name()), Some(f));
+        }
+        assert_eq!(Family::by_name("nope"), None);
+    }
+
+    #[test]
+    fn near_overflow_family_has_boundary_deltas() {
+        let m = Family::NearOverflowDeltas.generate(3);
+        let mut boundary_hits = 0;
+        for r in 0..m.rows() as u32 {
+            let (cols, _) = m.row(r);
+            for w in cols.windows(2) {
+                let d = (w[1] - w[0]) as u64;
+                if d.is_power_of_two() || (d + 1).is_power_of_two() {
+                    boundary_hits += 1;
+                }
+            }
+        }
+        assert!(boundary_hits > 0, "expected power-of-two-adjacent deltas");
+    }
+
+    #[test]
+    fn empty_rows_family_has_empty_rows() {
+        let m = Family::EmptyRowsCols.generate(1);
+        assert!(m.row_lengths().contains(&0));
+    }
+
+    #[test]
+    fn input_vector_is_deterministic_and_nonzero() {
+        let a = input_vector(50, 9);
+        assert_eq!(a, input_vector(50, 9));
+        assert!(a.iter().all(|&v| v.abs() >= 0.5));
+    }
+}

@@ -1,0 +1,230 @@
+//! Greedy failing-case minimization.
+//!
+//! Given a matrix + input vector that makes some predicate fail (kernel
+//! output diverges from the reference), [`shrink`] repeatedly tries
+//! simplifications, keeping each one only if the case still fails:
+//!
+//! 1. drop contiguous chunks of non-zeros (halves, then quarters, …, then
+//!    single entries);
+//! 2. compact the shape to the occupied bounding box (plus one empty
+//!    row/column of slack, preserved in case emptiness is the trigger);
+//! 3. canonicalize values to `1.0` and `x` entries to `1.0`.
+//!
+//! The result is typically a few rows and a handful of entries — small
+//! enough to paste into a unit test — persisted as a corpus case by the
+//! fuzzer (see [`crate::corpus`]).
+
+use bro_matrix::CooMatrix;
+
+/// Upper bound on predicate evaluations per shrink, so a pathological
+/// predicate cannot stall the fuzzing loop.
+const MAX_CHECKS: usize = 2_000;
+
+/// A shrinking outcome.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized matrix (still failing).
+    pub matrix: CooMatrix<f64>,
+    /// The minimized input vector (length = matrix cols).
+    pub x: Vec<f64>,
+    /// Number of predicate evaluations spent.
+    pub checks: usize,
+}
+
+struct Case {
+    rows: usize,
+    cols: usize,
+    trips: Vec<(u32, u32, f64)>,
+    x: Vec<f64>,
+}
+
+impl Case {
+    fn build(&self) -> Option<(CooMatrix<f64>, Vec<f64>)> {
+        let (r, (c, v)): (Vec<usize>, (Vec<usize>, Vec<f64>)) =
+            self.trips.iter().map(|&(r, c, v)| (r as usize, (c as usize, v))).unzip();
+        let m = CooMatrix::from_triplets(self.rows, self.cols, &r, &c, &v).ok()?;
+        Some((m, self.x.clone()))
+    }
+}
+
+/// Minimizes a failing `(matrix, x)` pair. `still_fails` must return `true`
+/// for the original input; the returned case is guaranteed to still fail.
+pub fn shrink(
+    matrix: &CooMatrix<f64>,
+    x: &[f64],
+    mut still_fails: impl FnMut(&CooMatrix<f64>, &[f64]) -> bool,
+) -> Shrunk {
+    let mut case = Case {
+        rows: matrix.rows(),
+        cols: matrix.cols(),
+        trips: matrix.iter().collect(),
+        x: x.to_vec(),
+    };
+    let mut checks = 0usize;
+    let check = |c: &Case,
+                 still_fails: &mut dyn FnMut(&CooMatrix<f64>, &[f64]) -> bool,
+                 checks: &mut usize| {
+        if *checks >= MAX_CHECKS {
+            return false;
+        }
+        *checks += 1;
+        match c.build() {
+            Some((m, x)) => still_fails(&m, &x),
+            None => false,
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop chunks of entries, halving the chunk size down to 1.
+        let mut chunk = (case.trips.len() / 2).max(1);
+        while chunk >= 1 && !case.trips.is_empty() {
+            let mut start = 0;
+            while start < case.trips.len() {
+                let end = (start + chunk).min(case.trips.len());
+                let mut candidate = Case {
+                    rows: case.rows,
+                    cols: case.cols,
+                    trips: case.trips.clone(),
+                    x: case.x.clone(),
+                };
+                candidate.trips.drain(start..end);
+                if check(&candidate, &mut still_fails, &mut checks) {
+                    case.trips = candidate.trips;
+                    progressed = true;
+                    // Re-test the same start index: new entries slid in.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: compact the shape to the occupied bounding box, keeping
+        // one row/column of slack so "trailing empties" bugs stay visible.
+        let used_rows = case.trips.iter().map(|t| t.0 as usize + 1).max().unwrap_or(0);
+        let used_cols = case.trips.iter().map(|t| t.1 as usize + 1).max().unwrap_or(0);
+        for (rows, cols) in [(used_rows.max(1), used_cols.max(1)), (used_rows + 1, used_cols + 1)] {
+            if rows < case.rows || cols < case.cols {
+                let candidate = Case {
+                    rows,
+                    cols,
+                    trips: case.trips.clone(),
+                    x: case.x[..cols.min(case.x.len())].to_vec(),
+                };
+                if candidate.x.len() == cols && check(&candidate, &mut still_fails, &mut checks) {
+                    case.rows = rows;
+                    case.cols = cols;
+                    case.x = candidate.x;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        // Pass 3: canonicalize values and x to 1.0 (all at once, then one
+        // entry at a time for whichever ones matter).
+        if case.trips.iter().any(|t| t.2 != 1.0) {
+            let mut candidate = Case {
+                rows: case.rows,
+                cols: case.cols,
+                trips: case.trips.iter().map(|&(r, c, _)| (r, c, 1.0)).collect(),
+                x: case.x.clone(),
+            };
+            if check(&candidate, &mut still_fails, &mut checks) {
+                case.trips = std::mem::take(&mut candidate.trips);
+                progressed = true;
+            }
+        }
+        if case.x.iter().any(|&v| v != 1.0) {
+            let candidate = Case {
+                rows: case.rows,
+                cols: case.cols,
+                trips: case.trips.clone(),
+                x: vec![1.0; case.x.len()],
+            };
+            if check(&candidate, &mut still_fails, &mut checks) {
+                case.x = vec![1.0; case.x.len()];
+                progressed = true;
+            }
+        }
+
+        if !progressed || checks >= MAX_CHECKS {
+            break;
+        }
+    }
+
+    let (matrix, x) = case.build().expect("shrunk case still builds");
+    Shrunk { matrix, x, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_random(rows: usize, cols: usize) -> (CooMatrix<f64>, Vec<f64>) {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i * 31 + j * 17) % 3 != 0 {
+                    r.push(i);
+                    c.push(j);
+                    v.push(((i + 2 * j) % 7) as f64 - 3.0);
+                }
+            }
+        }
+        let x = (0..cols).map(|j| 1.0 + j as f64 * 0.5).collect();
+        (CooMatrix::from_triplets(rows, cols, &r, &c, &v).unwrap(), x)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_entry() {
+        // Predicate: fails whenever the entry at (13, 8) is present.
+        let (m, x) = dense_random(40, 20);
+        assert!(m.iter().any(|(r, c, _)| r == 13 && c == 8));
+        let shrunk = shrink(&m, &x, |m, _| m.iter().any(|(r, c, _)| r == 13 && c == 8));
+        assert_eq!(shrunk.matrix.nnz(), 1);
+        let (r, c, _) = shrunk.matrix.iter().next().unwrap();
+        assert_eq!((r, c), (13, 8));
+        // Shape compacted to just past the culprit (one row/col of slack
+        // allowed).
+        assert!(shrunk.matrix.rows() <= 15, "rows = {}", shrunk.matrix.rows());
+        assert!(shrunk.matrix.cols() <= 10, "cols = {}", shrunk.matrix.cols());
+    }
+
+    #[test]
+    fn shrunk_case_still_fails_and_is_canonical() {
+        // Predicate: fails while at least 3 entries sit in row 5.
+        let (m, x) = dense_random(30, 30);
+        let pred = |m: &CooMatrix<f64>, _: &[f64]| m.iter().filter(|t| t.0 == 5).count() >= 3;
+        assert!(pred(&m, &x));
+        let shrunk = shrink(&m, &x, pred);
+        assert!(pred(&shrunk.matrix, &shrunk.x));
+        assert_eq!(shrunk.matrix.nnz(), 3);
+        assert!(shrunk.matrix.values().iter().all(|&v| v == 1.0));
+        assert!(shrunk.x.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn never_returns_a_passing_case() {
+        let (m, x) = dense_random(10, 10);
+        let nnz = m.nnz();
+        // Fails only at full size: nothing can be removed.
+        let shrunk = shrink(&m, &x, move |m, _| m.nnz() == nnz);
+        assert_eq!(shrunk.matrix.nnz(), nnz);
+    }
+
+    #[test]
+    fn check_budget_is_bounded() {
+        let (m, x) = dense_random(40, 40);
+        let shrunk = shrink(&m, &x, |m, _| m.nnz() > 0);
+        assert!(shrunk.checks <= MAX_CHECKS);
+        assert_eq!(shrunk.matrix.nnz(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! ULP-aware floating-point comparison.
+//!
+//! The simulated kernels accumulate in a different order than the serial CSR
+//! reference, so exact equality is too strict; a plain relative tolerance is
+//! too loose to catch decode bugs that corrupt low-order mantissa bits on
+//! small values. The harness therefore accepts a result when it is within
+//! `max_ulps` units-in-the-last-place *or* within a relative tolerance that
+//! scales with the accumulation length (each reordered addition contributes
+//! at most one rounding step).
+
+/// Distance in units-in-the-last-place between two finite `f64` values.
+///
+/// Maps each float onto the integer number line of ordered bit patterns
+/// (negative values mirrored below zero), so the distance is monotone and
+/// well-defined across the sign boundary. NaNs and infinities are infinitely
+/// far from everything (returns `u64::MAX`).
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if !a.is_finite() || !b.is_finite() {
+        return if a.to_bits() == b.to_bits() { 0 } else { u64::MAX };
+    }
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        // Negative floats have the sign bit set; reflecting them below zero
+        // makes the integer order match the numeric order (±0 both map to 0).
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    // The spread between the most negative and most positive finite double
+    // exceeds i64::MAX, so widen before taking the distance.
+    (key(a) as i128 - key(b) as i128).unsigned_abs() as u64
+}
+
+/// Acceptance thresholds for one vector comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tolerance {
+    /// Maximum ULP distance accepted regardless of magnitude.
+    pub max_ulps: u64,
+    /// Relative tolerance per accumulated term: a row of length `k` accepts
+    /// `rel_per_term * k` relative error (floored at one term).
+    pub rel_per_term: f64,
+    /// Absolute floor below which differences are ignored (protects rows
+    /// whose exact sum is zero or denormal).
+    pub abs_floor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // 64 ULPs ≈ 1.4e-14 relative on doubles; rel_per_term covers long
+        // power-law rows where thousands of terms reorder.
+        Tolerance { max_ulps: 64, rel_per_term: 1e-14, abs_floor: 1e-300 }
+    }
+}
+
+impl Tolerance {
+    /// Whether `got` is an acceptable computation of `want` for a row that
+    /// accumulated `terms` products.
+    pub fn accepts(&self, got: f64, want: f64, terms: usize) -> bool {
+        if got == want {
+            return true;
+        }
+        if !got.is_finite() || !want.is_finite() {
+            return false;
+        }
+        let diff = (got - want).abs();
+        if diff <= self.abs_floor {
+            return true;
+        }
+        if ulp_diff(got, want) <= self.max_ulps {
+            return true;
+        }
+        diff <= self.rel_per_term * terms.max(1) as f64 * want.abs().max(got.abs()).max(1.0)
+    }
+}
+
+/// One element-level disagreement between a kernel and the reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Output row index.
+    pub index: usize,
+    /// Kernel result.
+    pub got: f64,
+    /// Reference result.
+    pub want: f64,
+    /// ULP distance (u64::MAX for non-finite disagreements).
+    pub ulps: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "y[{}] = {:e}, reference {:e} ({} ulps apart)",
+            self.index,
+            self.got,
+            self.want,
+            if self.ulps == u64::MAX { "inf".to_string() } else { self.ulps.to_string() }
+        )
+    }
+}
+
+/// Compares a kernel output against the reference. `row_terms[i]` is the
+/// number of products accumulated into row `i` (its nnz count); pass `&[]`
+/// to treat every row as a single term.
+pub fn compare(got: &[f64], want: &[f64], row_terms: &[u32], tol: &Tolerance) -> Option<Mismatch> {
+    if got.len() != want.len() {
+        return Some(Mismatch {
+            index: got.len().min(want.len()),
+            got: f64::NAN,
+            want: f64::NAN,
+            ulps: u64::MAX,
+        });
+    }
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let terms = row_terms.get(i).copied().unwrap_or(1) as usize;
+        if !tol.accepts(g, w, terms) {
+            return Some(Mismatch { index: i, got: g, want: w, ulps: ulp_diff(g, w) });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_ulps() {
+        assert_eq!(ulp_diff(1.5, 1.5), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0); // both zeros sit at the origin
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_ulp() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_diff(a, b), 1);
+        let c = -1.0f64;
+        let d = f64::from_bits(c.to_bits() + 1); // more negative
+        assert_eq!(ulp_diff(c, d), 1);
+    }
+
+    #[test]
+    fn sign_boundary_is_monotone() {
+        let tiny = f64::from_bits(1); // smallest positive denormal
+        assert_eq!(ulp_diff(tiny, -tiny), 2);
+        assert!(ulp_diff(1.0, -1.0) > 1_000_000);
+    }
+
+    #[test]
+    fn non_finite_is_infinitely_far() {
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_diff(f64::INFINITY, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn tolerance_accepts_reordered_sums() {
+        let tol = Tolerance::default();
+        let want = 0.1 + 0.2 + 0.3;
+        let got = 0.3 + 0.2 + 0.1;
+        assert!(tol.accepts(got, want, 3));
+    }
+
+    #[test]
+    fn tolerance_rejects_real_corruption() {
+        let tol = Tolerance::default();
+        assert!(!tol.accepts(1.0, 1.001, 8));
+        assert!(!tol.accepts(1.0, -1.0, 8));
+        assert!(!tol.accepts(f64::NAN, 1.0, 8));
+    }
+
+    #[test]
+    fn compare_reports_first_mismatch() {
+        let tol = Tolerance::default();
+        let want = [1.0, 2.0, 3.0];
+        let got = [1.0, 2.5, 3.0];
+        let m = compare(&got, &want, &[1, 1, 1], &tol).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.got, 2.5);
+        assert!(m.to_string().contains("y[1]"));
+    }
+
+    #[test]
+    fn compare_flags_length_mismatch() {
+        let tol = Tolerance::default();
+        assert!(compare(&[1.0], &[1.0, 2.0], &[], &tol).is_some());
+    }
+
+    #[test]
+    fn compare_accepts_equal_vectors() {
+        let tol = Tolerance::default();
+        let v = [0.5, -0.25, 1e308, 0.0];
+        assert_eq!(compare(&v, &v, &[], &tol), None);
+    }
+}

@@ -10,7 +10,14 @@
 //! bro-tool solve     <matrix> [--solver S]       solve A x = b (b = A·1)
 //! bro-tool partition <matrix> [--devices N]      distributed SpMV on N GPUs
 //! bro-tool suite                                 list the Table-2 suite
+//! bro-tool verify    [--iters N]                 correctness harness
 //! ```
+//!
+//! `verify` runs the differential fuzzer (every format vs the CSR
+//! reference), replays the regression corpus, and checks the golden
+//! perf-model snapshots. `--inject-fault <format>:<kind>` corrupts one
+//! format on purpose to prove failures are caught and shrunk;
+//! `--update-golden` (or `UPDATE_GOLDEN=1`) refreshes the snapshots.
 //!
 //! `<matrix>` is a `.mtx` MatrixMarket file or the name of a suite matrix
 //! (generated at `--scale`, default 0.1). `D` ∈ {c2070, gtx680, k20}.
@@ -25,6 +32,7 @@ use bro_spmv::kernels::recommend_format;
 use bro_spmv::matrix::{io::read_matrix_market_file, suite};
 use bro_spmv::prelude::*;
 use bro_spmv::solvers::{bicgstab, gmres, BiCgStabOptions, GmresOptions, SolveStats};
+use bro_spmv::verify::{FaultKind, FaultSpec, FormatKind, FuzzConfig};
 
 struct Args {
     positional: Vec<String>,
@@ -36,6 +44,10 @@ struct Args {
     link: LinkProfile,
     format: ClusterFormat,
     hetero: bool,
+    iters: u64,
+    inject_fault: Option<FaultSpec>,
+    update_golden: bool,
+    out_dir: std::path::PathBuf,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -49,6 +61,10 @@ fn parse_args(raw: &[String]) -> Args {
         link: LinkProfile::pcie_gen2(),
         format: ClusterFormat::BroHyb,
         hetero: false,
+        iters: 8,
+        inject_fault: None,
+        update_golden: false,
+        out_dir: "out".into(),
     };
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
@@ -83,6 +99,26 @@ fn parse_args(raw: &[String]) -> Args {
                 });
             }
             "--hetero" => a.hetero = true,
+            "--iters" => {
+                a.iters = parse_flag(&mut it, "--iters");
+                if a.iters == 0 {
+                    die("--iters must be at least 1");
+                }
+            }
+            "--inject-fault" => {
+                let v = flag_value(&mut it, "--inject-fault");
+                let Some((fmt, kind)) = v.split_once(':') else {
+                    die(&format!("--inject-fault wants <format>:<kind>, got '{v}'"));
+                };
+                let format = FormatKind::by_name(fmt)
+                    .unwrap_or_else(|| die(&format!("unknown format '{fmt}'")));
+                let kind = FaultKind::by_name(kind).unwrap_or_else(|| {
+                    die(&format!("unknown fault '{kind}' (drop-last-entry|perturb-value)"))
+                });
+                a.inject_fault = Some(FaultSpec { format, kind });
+            }
+            "--update-golden" => a.update_golden = true,
+            "--out" => a.out_dir = flag_value(&mut it, "--out").into(),
             other => a.positional.push(other.to_string()),
         }
     }
@@ -284,7 +320,99 @@ fn cmd_suite() {
     }
 }
 
-const USAGE: &str = "usage: bro-tool <info|compress|spmv|recommend|solve|partition|suite> …";
+fn cmd_verify(a: &Args) {
+    use bro_spmv::verify;
+
+    let t0 = std::time::Instant::now();
+    let mut failed = false;
+
+    // 1. Differential fuzzing: every format vs the CSR reference.
+    let config = FuzzConfig { iters: a.iters, fault: a.inject_fault, ..Default::default() };
+    println!(
+        "differential: {} formats x {} families x {} seeds{}",
+        config.formats.len(),
+        config.families.len(),
+        config.iters,
+        match a.inject_fault {
+            Some(f) => format!(" (injecting {} into {})", f.kind.name(), f.format),
+            None => String::new(),
+        }
+    );
+    let report = verify::fuzz(&config);
+    match report.failure {
+        None => println!("differential: all {} cases passed", report.cases_run),
+        Some(failure) => {
+            failed = true;
+            eprintln!("differential FAILURE after {} cases: {failure}", report.cases_run);
+            let path = a.out_dir.join("verify_failure.corpus");
+            match failure.to_corpus().save(&path) {
+                Ok(()) => eprintln!("shrunk reproducer written to {}", path.display()),
+                Err(e) => eprintln!("could not write reproducer: {e}"),
+            }
+        }
+    }
+
+    // 2. Regression corpus replay.
+    let corpus_dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"));
+    match verify::load_dir(corpus_dir) {
+        Ok(cases) => {
+            let mut bad = 0;
+            for (name, case) in &cases {
+                if let Some((format, mismatch)) =
+                    verify::replay(case, FormatKind::all(), &verify::Tolerance::default())
+                {
+                    failed = true;
+                    bad += 1;
+                    eprintln!("corpus FAILURE: {name}: format '{format}': {mismatch}");
+                }
+            }
+            println!("corpus: {} cases replayed, {bad} failed", cases.len());
+        }
+        Err(e) => {
+            failed = true;
+            eprintln!("corpus: {e}");
+        }
+    }
+
+    // 3. Golden perf-model conformance.
+    let update = a.update_golden || verify::update_requested();
+    match verify::golden::run(update) {
+        Ok(outcome) if outcome.updated => {
+            println!(
+                "golden: rewrote {} snapshot files in {}",
+                outcome.files.len(),
+                verify::golden_dir().display()
+            );
+        }
+        Ok(outcome) if outcome.is_clean() => {
+            println!("golden: {} snapshot files conformant", outcome.files.len());
+        }
+        Ok(outcome) => {
+            failed = true;
+            eprintln!("golden: {} field diffs:", outcome.diffs.len());
+            for d in &outcome.diffs {
+                eprintln!("  {d}");
+            }
+            let path = a.out_dir.join("verify_golden.diff");
+            let body = outcome.diffs.join("\n") + "\n";
+            match std::fs::create_dir_all(&a.out_dir).and_then(|()| std::fs::write(&path, body)) {
+                Ok(()) => eprintln!("stats diff written to {}", path.display()),
+                Err(e) => eprintln!("could not write stats diff: {e}"),
+            }
+        }
+        Err(e) => {
+            failed = true;
+            eprintln!("golden: io error: {e}");
+        }
+    }
+
+    println!("verify finished in {:.1}s", t0.elapsed().as_secs_f64());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage: bro-tool <info|compress|spmv|recommend|solve|partition|suite|verify> …";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -301,6 +429,7 @@ fn main() {
         "solve" => cmd_solve(&args),
         "partition" => cmd_partition(&args),
         "suite" => cmd_suite(),
+        "verify" => cmd_verify(&args),
         "-h" | "--help" => eprintln!("{USAGE}"),
         other => die(&format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -350,6 +479,30 @@ mod tests {
         assert_eq!(a.scale, 0.5);
         assert!(a.coo_format);
         assert_eq!(a.solver, "gmres");
+    }
+
+    #[test]
+    fn parse_args_verify_flags() {
+        let raw: Vec<String> = [
+            "--iters",
+            "3",
+            "--inject-fault",
+            "bro-ell:drop-last-entry",
+            "--update-golden",
+            "--out",
+            "tmp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse_args(&raw);
+        assert_eq!(a.iters, 3);
+        assert_eq!(
+            a.inject_fault,
+            Some(FaultSpec { format: FormatKind::BroEll, kind: FaultKind::DropLastEntry })
+        );
+        assert!(a.update_golden);
+        assert_eq!(a.out_dir, std::path::PathBuf::from("tmp"));
     }
 
     #[test]

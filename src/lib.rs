@@ -23,6 +23,10 @@
 //! * [`gpu_cluster`] — simulated multi-GPU distributed SpMV: nnz-balanced
 //!   row-block sharding, halo exchange with BRO-compressed index metadata,
 //!   interconnect timing, and comm/compute overlap.
+//! * [`verify`] — the correctness harness: differential fuzzing of every
+//!   SpMV format against the CSR reference (with greedy shrinking and a
+//!   regression corpus) plus golden-model snapshots of the simulator's
+//!   performance counters (see docs/TESTING.md).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use bro_gpu_sim as gpu_sim;
 pub use bro_kernels as kernels;
 pub use bro_matrix as matrix;
 pub use bro_solvers as solvers;
+pub use bro_verify as verify;
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {

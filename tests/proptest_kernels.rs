@@ -98,3 +98,23 @@ proptest! {
         prop_assert!(read_bro_ell::<f64, u32, _>(&mut &buf[..]).is_err());
     }
 }
+
+/// Replays the committed regression corpus (`tests/corpus/*.corpus`) through
+/// every registered format. Each file pins a historically interesting shape
+/// (boundary deltas, empty rows, corner entries); a divergence here means a
+/// previously-fixed bug came back. New shrunk reproducers from
+/// `bro_tool verify --inject-fault` land in the same directory.
+#[test]
+fn regression_corpus_replays_clean() {
+    use bro_spmv::verify::{load_dir, replay, FormatKind, Tolerance};
+
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"));
+    let cases = load_dir(dir).expect("corpus directory must be readable");
+    assert!(!cases.is_empty(), "the committed regression corpus must not be empty");
+    let tol = Tolerance::default();
+    for (name, case) in &cases {
+        if let Some((format, mismatch)) = replay(case, FormatKind::all(), &tol) {
+            panic!("corpus case '{name}' ({}) diverged on {format:?}: {mismatch}", case.note);
+        }
+    }
+}
