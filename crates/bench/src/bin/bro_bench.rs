@@ -1,0 +1,240 @@
+//! `bro-bench` — continuous wall-clock benchmark tracking.
+//!
+//! ```text
+//! bro-bench bench [--quick] [--reps N] [--warmup N] [--scale F] [--seed N]
+//!                 [--threads N] [--filter S] [--out DIR] [--baseline FILE]
+//! bro-bench diff <base.json> <new.json> [--warn-pct F] [--fail-pct F]
+//!                [--summary FILE]
+//! ```
+//!
+//! `bench` runs the suite in [`bro_bench::wallclock`] and writes a
+//! schema-versioned `BENCH_<git-sha>.json` into `--out` (default `.`).
+//! With `--baseline` it additionally diffs against a previous report.
+//! `diff` compares two existing reports. Both print a markdown regression
+//! table (appended to `--summary` when given, for `$GITHUB_STEP_SUMMARY`),
+//! emit a GitHub `::warning::` annotation per soft regression
+//! (> `--warn-pct`, default 15 %), and exit 1 when any benchmark regresses
+//! past `--fail-pct` (default 40 %).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use bro_bench::cli::{die, die_usage, effective_threads, flag_value, install_threads, parse_flag};
+use bro_bench::wallclock::{
+    diff_reports, markdown_table, run_suite, BenchReport, DiffRow, DiffStatus, WallclockConfig,
+    DEFAULT_FAIL_PCT, DEFAULT_WARN_PCT,
+};
+
+const USAGE: &str = "\
+usage: bro-bench <command> [options]
+
+commands:
+  bench   run the wall-clock suite and write BENCH_<git-sha>.json
+  diff    compare two benchmark reports
+
+bench options:
+  --quick          CI preset: one device, small matrices, few reps
+  --reps N         measured repetitions per benchmark
+  --warmup N       untimed warmup repetitions per benchmark
+  --scale F        matrix scale factor in (0, 1]
+  --seed N         input-vector seed (recorded in the report)
+  --threads N      bound the rayon worker pool (0 = all cores, 1 = serial)
+  --filter S       only benchmarks whose name contains S
+  --out DIR        directory for the report file, default '.'
+  --baseline FILE  also diff against a previous report (see diff options)
+
+diff options (also apply to bench --baseline):
+  --warn-pct F     soft-regression threshold in percent, default 15
+  --fail-pct F     hard-regression threshold in percent, default 40
+  --summary FILE   append the markdown table to FILE
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("-h") | Some("--help") => print!("{USAGE}"),
+        Some(other) => die_usage(&format!("unknown command '{other}'"), USAGE),
+        None => die_usage("a command is required", USAGE),
+    }
+}
+
+/// Shared threshold/summary flags; returns true when the flag was consumed.
+struct DiffOpts {
+    warn_pct: f64,
+    fail_pct: f64,
+    summary: Option<PathBuf>,
+}
+
+impl DiffOpts {
+    fn new() -> Self {
+        DiffOpts { warn_pct: DEFAULT_WARN_PCT, fail_pct: DEFAULT_FAIL_PCT, summary: None }
+    }
+
+    fn parse<'a, I: Iterator<Item = &'a String>>(&mut self, arg: &str, it: &mut I) -> bool {
+        match arg {
+            "--warn-pct" => self.warn_pct = parse_flag(it, "--warn-pct"),
+            "--fail-pct" => self.fail_pct = parse_flag(it, "--fail-pct"),
+            "--summary" => self.summary = Some(flag_value(it, "--summary").into()),
+            _ => return false,
+        }
+        true
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    let mut quick = false;
+    let mut reps: Option<usize> = None;
+    let mut warmup: Option<usize> = None;
+    let mut scale: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut filter: Option<String> = None;
+    let mut threads = 0usize;
+    let mut out = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut diff_opts = DiffOpts::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--reps" => reps = Some(parse_flag(&mut it, "--reps")),
+            "--warmup" => warmup = Some(parse_flag(&mut it, "--warmup")),
+            "--scale" => {
+                let s: f64 = parse_flag(&mut it, "--scale");
+                if !(s > 0.0 && s <= 1.0) {
+                    die("--scale must be in (0, 1]");
+                }
+                scale = Some(s);
+            }
+            "--seed" => seed = Some(parse_flag(&mut it, "--seed")),
+            "--threads" => threads = parse_flag(&mut it, "--threads"),
+            "--filter" => filter = Some(flag_value(&mut it, "--filter").to_string()),
+            "--out" => out = flag_value(&mut it, "--out").into(),
+            "--baseline" => baseline = Some(flag_value(&mut it, "--baseline").into()),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if diff_opts.parse(other, &mut it) => {}
+            other => die_usage(&format!("unknown argument '{other}'"), USAGE),
+        }
+    }
+
+    // Start from the preset, then apply explicit overrides.
+    let mut cfg = if quick { WallclockConfig::quick() } else { WallclockConfig::full() };
+    if let Some(r) = reps {
+        cfg.reps = r.max(1);
+    }
+    if let Some(w) = warmup {
+        cfg.warmup = w;
+    }
+    if let Some(s) = scale {
+        cfg.scale = s;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    cfg.filter = filter;
+
+    install_threads(threads);
+    eprintln!(
+        "bro-bench: {} preset, scale {}, seed {}, {} warmup + {} measured rep(s), \
+         {} worker thread(s)",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.scale,
+        cfg.seed,
+        cfg.warmup,
+        cfg.reps,
+        effective_threads()
+    );
+    let report = run_suite(&cfg);
+    if report.rows.is_empty() {
+        die("no benchmarks matched the filter");
+    }
+
+    std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("--out {}: {e}", out.display())));
+    let path = out.join(report.file_name());
+    let mut text = report.to_json().to_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+    eprintln!("bro-bench: wrote {} ({} benchmarks)", path.display(), report.rows.len());
+
+    if let Some(base_path) = baseline {
+        let base = load_report(&base_path);
+        run_diff(&base, &report, &diff_opts);
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut diff_opts = DiffOpts::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if diff_opts.parse(other, &mut it) => {}
+            other if !other.starts_with('-') => files.push(other.into()),
+            other => die_usage(&format!("unknown argument '{other}'"), USAGE),
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        die_usage("diff needs exactly two report files: <base.json> <new.json>", USAGE);
+    };
+    let base = load_report(base_path);
+    let new = load_report(new_path);
+    run_diff(&base, &new, &diff_opts);
+}
+
+fn load_report(path: &PathBuf) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("reading {}: {e}", path.display())));
+    BenchReport::parse(&text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())))
+}
+
+/// Prints the table, appends it to the summary file, emits annotations,
+/// and exits 1 when any benchmark hard-fails.
+fn run_diff(base: &BenchReport, new: &BenchReport, opts: &DiffOpts) {
+    let rows = diff_reports(base, new, opts.warn_pct, opts.fail_pct).unwrap_or_else(|e| die(&e));
+    let table = markdown_table(&rows);
+    let header = format!(
+        "### Benchmark regression check (baseline {}, current {})\n\n",
+        base.git_sha, new.git_sha
+    );
+    println!("{header}{table}");
+    if let Some(summary) = &opts.summary {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(summary)
+            .unwrap_or_else(|e| die(&format!("--summary {}: {e}", summary.display())));
+        writeln!(f, "{header}{table}")
+            .unwrap_or_else(|e| die(&format!("--summary {}: {e}", summary.display())));
+    }
+    for r in &rows {
+        if let (DiffStatus::Warn, Some(d)) = (r.status, r.delta_pct) {
+            println!(
+                "::warning title=bench regression::{} is {:.1}% slower than baseline \
+                 (soft threshold {:.0}%)",
+                r.name, d, opts.warn_pct
+            );
+        }
+    }
+    let failures: Vec<&DiffRow> = rows.iter().filter(|r| r.status == DiffStatus::Fail).collect();
+    if !failures.is_empty() {
+        for r in &failures {
+            eprintln!(
+                "error: {} regressed {:+.1}% (hard threshold {:.0}%)",
+                r.name,
+                r.delta_pct.unwrap_or(0.0),
+                opts.fail_pct
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--out DIR] [--matrix NAME]
+//! repro <experiment> [--scale F] [--out DIR] [--matrix NAME] [--threads N]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5
@@ -12,9 +12,10 @@
 //!   --scale F      matrix scale factor in (0, 1], default 0.1
 //!   --out DIR      also write each table as CSV into DIR
 //!   --matrix NAME  only run matrices whose name contains NAME
+//!   --threads N    bound the rayon worker pool (0 = all cores, 1 = serial)
 //! ```
 
-use bro_bench::cli::{die, die_usage, flag_value, parse_flag};
+use bro_bench::cli::{die, die_usage, effective_threads, flag_value, install_threads, parse_flag};
 use bro_bench::experiments::*;
 use bro_bench::ExpContext;
 
@@ -51,6 +52,7 @@ options:
   --scale F      matrix scale factor in (0, 1], default 0.1
   --out DIR      also write each table as CSV into DIR
   --matrix NAME  only run matrices whose name contains NAME
+  --threads N    bound the rayon worker pool (0 = all cores, 1 = serial)
 ";
 
 fn main() {
@@ -59,6 +61,7 @@ fn main() {
     let mut scale = 0.1f64;
     let mut out: Option<std::path::PathBuf> = None;
     let mut matrix: Option<String> = None;
+    let mut threads = 0usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -75,6 +78,7 @@ fn main() {
             "--matrix" => {
                 matrix = Some(flag_value(&mut it, "--matrix").to_string());
             }
+            "--threads" => threads = parse_flag(&mut it, "--threads"),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return;
@@ -89,10 +93,15 @@ fn main() {
         die_usage("an experiment name is required", USAGE);
     };
 
+    install_threads(threads);
     let mut ctx = ExpContext::new(scale);
     ctx.out_dir = out;
     ctx.matrix_filter = matrix;
-    eprintln!("running '{exp}' at scale {scale} (use --scale 1.0 for paper-size inputs)");
+    eprintln!(
+        "running '{exp}' at scale {scale} on {} worker thread(s) \
+         (use --scale 1.0 for paper-size inputs)",
+        effective_threads()
+    );
     let t0 = std::time::Instant::now();
     match exp.as_str() {
         "table1" => table1::run(&mut ctx),

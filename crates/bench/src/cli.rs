@@ -1,11 +1,13 @@
-//! Minimal argument-parsing helpers shared by the workspace's two
-//! binaries (`repro` and `bro-tool`).
+//! Minimal argument-parsing helpers shared by the workspace's binaries
+//! (`repro`, `bro-tool`, and `bro-bench`).
 //!
-//! Both binaries hand-roll their flag loops (the workspace deliberately
+//! The binaries hand-roll their flag loops (the workspace deliberately
 //! carries no argument-parsing dependency); these helpers centralize the
 //! failure paths so every malformed invocation exits non-zero with a
 //! message — and, where usage text is supplied, with the list of valid
-//! choices.
+//! choices. [`install_threads`] is the single place the shared `--threads`
+//! flag is turned into a rayon global pool bound, so every binary gets the
+//! same semantics: `--threads 1` reproduces serial execution exactly.
 
 use std::fmt::Display;
 use std::str::FromStr;
@@ -29,6 +31,26 @@ pub fn flag_value<'a, I: Iterator<Item = &'a String>>(it: &mut I, flag: &str) ->
         Some(v) => v.as_str(),
         None => die(&format!("{flag} needs a value")),
     }
+}
+
+/// Installs the worker-thread bound parsed from a `--threads N` flag as
+/// the process-global rayon default. `0` means "auto" (all available
+/// cores, rayon's own default) and leaves the pool untouched; `1` forces
+/// fully serial execution everywhere, including nested parallel regions.
+pub fn install_threads(threads: usize) {
+    if threads == 0 {
+        return;
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .unwrap_or_else(|e| die(&format!("--threads: could not configure thread pool: {e}")));
+}
+
+/// The effective worker-thread count after [`install_threads`] (for
+/// banners and benchmark metadata).
+pub fn effective_threads() -> usize {
+    rayon::current_num_threads()
 }
 
 /// Pulls and parses the value following a `--flag`, dying with the parse
@@ -68,5 +90,17 @@ mod tests {
         let mut it = args.iter();
         let v: f64 = parse_flag(&mut it, "--scale");
         assert_eq!(v, 0.25);
+    }
+
+    #[test]
+    fn install_threads_zero_is_auto_and_bound_sticks() {
+        install_threads(0);
+        let auto = effective_threads();
+        assert!(auto >= 1);
+        install_threads(3);
+        assert_eq!(effective_threads(), 3);
+        // Reset to auto so other tests in this binary see the default.
+        rayon::ThreadPoolBuilder::new().build_global().unwrap();
+        assert_eq!(effective_threads(), auto);
     }
 }

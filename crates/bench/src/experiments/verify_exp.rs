@@ -2,12 +2,13 @@
 //!
 //! Every other experiment trusts the kernels; this one re-earns that trust
 //! before (or after) a `repro all` run: a differential fuzzing pass over
-//! every registered format and generator family, followed by the
-//! golden-model conformance check. It is the same machinery as
-//! `bro-tool verify`, sized for the experiment budget and reported as a
-//! table so it lands in `--out` CSVs next to the perf results.
+//! every registered format and generator family, the golden-model
+//! conformance check, and a thread-count determinism sweep (parallel
+//! execution must be bit-identical to serial). It is the same machinery
+//! as `bro-tool verify`, sized for the experiment budget and reported as
+//! a table so it lands in `--out` CSVs next to the perf results.
 
-use bro_verify::{fuzz, golden, Family, FormatKind, FuzzConfig};
+use bro_verify::{determinism, fuzz, golden, Family, FormatKind, FuzzConfig};
 
 use crate::cli::die;
 use crate::context::ExpContext;
@@ -51,6 +52,26 @@ pub fn run(ctx: &mut ExpContext) {
             die(&format!("golden conformance failed with {} diffs", outcome.diffs.len()));
         }
         Err(e) => die(&format!("golden conformance could not run: {e}")),
+    }
+
+    let counts = [1usize, rayon::current_num_threads().max(2)];
+    let det = determinism::run(&counts, config.seed0);
+    if det.is_clean() {
+        t.row(vec![
+            "thread determinism".into(),
+            format!("{} comparisons across {:?} threads", det.checks, counts),
+            "bit-identical".into(),
+        ]);
+    } else {
+        for m in det.mismatches.iter().take(10) {
+            eprintln!("  {m}");
+        }
+        die(&format!(
+            "determinism sweep failed: {} of {} comparisons diverged (seed {})",
+            det.mismatches.len(),
+            det.checks,
+            config.seed0
+        ));
     }
 
     ctx.emit("verify", "Correctness gate: differential fuzzing + golden snapshots", &t);

@@ -1,0 +1,613 @@
+//! Wall-clock benchmark suite behind `bro-bench bench`.
+//!
+//! Unlike the criterion micro-benches under `benches/` (which need a dev
+//! profile and a TTY), this suite is built for CI: it times a fixed set of
+//! named benchmarks — format encoding, simulated SpMV per format per
+//! device, one multi-GPU cluster step, and a fixed-iteration CG solve —
+//! with explicit warmup and measured repetitions, and emits a
+//! schema-versioned `BENCH_<git-sha>.json` report. A previous report can
+//! be replayed through [`diff_reports`] to produce a regression table with
+//! per-benchmark percentage deltas and ok / warn / fail classification.
+//!
+//! Benchmark names are stable identifiers of the form
+//! `group/name[/variant]` (e.g. `spmv/bro-ell/tesla-k20`); the diff is
+//! keyed on them, so renaming a benchmark intentionally breaks baseline
+//! comparison.
+
+use std::time::Instant;
+
+use bro_core::reorder::{bar_order, BarConfig};
+use bro_core::{BroCooConfig, BroEllConfig};
+use bro_gpu_cluster::ClusterSpmv;
+use bro_gpu_sim::{DeviceProfile, DeviceSim};
+use bro_matrix::generate::laplacian_2d;
+use bro_matrix::{suite, CooMatrix, CsrMatrix};
+use bro_solvers::{cg, CgOptions};
+use bro_verify::{input_vector, FormatKind, Json};
+
+/// Schema tag stamped into every report; bump on breaking layout changes.
+pub const SCHEMA: &str = "bro-bench/wallclock/v1";
+
+/// Default soft-regression threshold (percent slower than baseline).
+pub const DEFAULT_WARN_PCT: f64 = 15.0;
+/// Default hard-regression threshold (percent slower than baseline).
+pub const DEFAULT_FAIL_PCT: f64 = 40.0;
+
+/// Suite parameters. [`WallclockConfig::full`] is the local default;
+/// [`WallclockConfig::quick`] is the CI preset (smaller matrices, fewer
+/// repetitions, a single device) so a PR bench run stays under a minute.
+#[derive(Debug, Clone)]
+pub struct WallclockConfig {
+    /// Measured repetitions per benchmark (after warmup).
+    pub reps: usize,
+    /// Untimed warmup repetitions per benchmark.
+    pub warmup: usize,
+    /// Matrix scale factor in (0, 1], as in `repro --scale`.
+    pub scale: f64,
+    /// Seed for input vectors (recorded in the report for replay).
+    pub seed: u64,
+    /// Quick preset marker (recorded in the report; quick and full
+    /// reports are not comparable, so the diff refuses to mix them).
+    pub quick: bool,
+    /// Only run benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl WallclockConfig {
+    /// Full local preset: every evaluation device, two suite matrices.
+    pub fn full() -> Self {
+        WallclockConfig { reps: 9, warmup: 2, scale: 0.1, seed: 1, quick: false, filter: None }
+    }
+
+    /// CI preset: one device, one matrix, small scale, few reps.
+    pub fn quick() -> Self {
+        WallclockConfig { reps: 5, warmup: 1, scale: 0.03, seed: 1, quick: true, filter: None }
+    }
+}
+
+/// Summary statistics for one benchmark, in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Stable `group/name[/variant]` identifier.
+    pub name: String,
+    /// Measured repetitions behind the statistics.
+    pub reps: usize,
+    pub median_s: f64,
+    pub p10_s: f64,
+    pub p90_s: f64,
+    pub mean_s: f64,
+    pub min_s: f64,
+    pub max_s: f64,
+}
+
+/// One full suite run plus the metadata needed to reproduce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// [`SCHEMA`] at the time of the run.
+    pub schema: String,
+    /// Short commit hash (or `"local"` outside a git checkout).
+    pub git_sha: String,
+    /// Worker threads the run used.
+    pub threads: usize,
+    pub seed: u64,
+    pub scale: f64,
+    pub quick: bool,
+    pub warmup: usize,
+    pub rows: Vec<BenchRow>,
+}
+
+/// Linear-interpolated percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "percentile of empty sample");
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Collapses measured samples into a [`BenchRow`].
+pub fn summarize(name: &str, mut secs: Vec<f64>) -> BenchRow {
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let reps = secs.len();
+    BenchRow {
+        name: name.to_string(),
+        reps,
+        median_s: percentile(&secs, 0.5),
+        p10_s: percentile(&secs, 0.1),
+        p90_s: percentile(&secs, 0.9),
+        mean_s: secs.iter().sum::<f64>() / reps as f64,
+        min_s: secs[0],
+        max_s: secs[reps - 1],
+    }
+}
+
+struct Runner<'a> {
+    cfg: &'a WallclockConfig,
+    rows: Vec<BenchRow>,
+}
+
+impl Runner<'_> {
+    fn bench(&mut self, name: String, mut f: impl FnMut()) {
+        if let Some(filt) = &self.cfg.filter {
+            if !name.contains(filt.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.cfg.warmup {
+            f();
+        }
+        let secs: Vec<f64> = (0..self.cfg.reps.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let row = summarize(&name, secs);
+        eprintln!("  {:<40} median {:>10.3} ms", row.name, row.median_s * 1e3);
+        self.rows.push(row);
+    }
+}
+
+/// Lowercase-hyphen slug of a device's marketing name (`Tesla K20` →
+/// `tesla-k20`) for use inside benchmark identifiers.
+fn device_slug(profile: &DeviceProfile) -> String {
+    profile
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+/// Runs the suite and returns the report (rows in execution order).
+pub fn run_suite(cfg: &WallclockConfig) -> BenchReport {
+    let mut r = Runner { cfg, rows: Vec::new() };
+
+    let matrices: &[&str] = if cfg.quick { &["epb3"] } else { &["epb3", "qcd5_4"] };
+    let mut generated: Vec<(&str, CooMatrix<f64>)> = Vec::new();
+    for name in matrices {
+        let entry = suite::by_name(name).expect("benchmark matrix is in the paper suite");
+        generated.push((name, entry.spec(cfg.scale).generate()));
+    }
+
+    // Encoding and reordering cost, per matrix.
+    for (name, coo) in &generated {
+        let ell_cfg = BroEllConfig::default();
+        r.bench(format!("encode/bro-ell/{name}"), || {
+            std::hint::black_box(bro_core::BroEll::<f64, u32>::from_coo(coo, &ell_cfg));
+        });
+        let coo_cfg = BroCooConfig::default();
+        r.bench(format!("encode/bro-coo/{name}"), || {
+            std::hint::black_box(bro_core::BroCoo::<f64, u32>::compress(coo, &coo_cfg));
+        });
+        let bar_cfg = BarConfig::default();
+        r.bench(format!("reorder/bar/{name}"), || {
+            std::hint::black_box(bar_order(coo, &bar_cfg));
+        });
+    }
+
+    // Simulated SpMV per format per device, on the first suite matrix.
+    let spmv_coo = &generated[0].1;
+    let x = input_vector(spmv_coo.cols(), cfg.seed);
+    let devices: Vec<DeviceProfile> =
+        if cfg.quick { vec![DeviceProfile::tesla_k20()] } else { DeviceProfile::evaluation_set() };
+    let formats: &[FormatKind] = if cfg.quick {
+        &[FormatKind::CsrVector, FormatKind::BroEll, FormatKind::BroCoo]
+    } else {
+        &[
+            FormatKind::Ell,
+            FormatKind::Hyb,
+            FormatKind::Coo,
+            FormatKind::CsrVector,
+            FormatKind::BroEll,
+            FormatKind::BroCoo,
+            FormatKind::BroHyb,
+        ]
+    };
+    for dev in &devices {
+        let slug = device_slug(dev);
+        for fmt in formats {
+            let mut sim = DeviceSim::new(dev.clone());
+            r.bench(format!("spmv/{}/{slug}", fmt.name()), || {
+                std::hint::black_box(fmt.run(&mut sim, spmv_coo, &x));
+            });
+        }
+    }
+
+    // One multi-GPU cluster SpMV step (build cost excluded).
+    let csr = CsrMatrix::from_coo(&generated[0].1);
+    let cluster = ClusterSpmv::homogeneous(&csr, &DeviceProfile::tesla_k20(), 4);
+    let cluster_x = input_vector(csr.cols(), cfg.seed);
+    r.bench("cluster/step/4x-tesla-k20".to_string(), || {
+        std::hint::black_box(cluster.spmv(&cluster_x));
+    });
+
+    // Fixed-iteration CG on a 2-D Laplacian (SPD, deterministic work: the
+    // tolerance is unreachable so every rep runs the full budget).
+    let grid = if cfg.quick { 24 } else { 48 };
+    let lap = CsrMatrix::from_coo(&laplacian_2d::<f64>(grid));
+    let b = input_vector(lap.rows(), cfg.seed);
+    let opts = CgOptions { max_iters: 20, tol: 1e-300 };
+    r.bench(format!("solver/cg-20it/laplacian-{grid}"), || {
+        std::hint::black_box(cg(|v| lap.par_spmv(v).expect("square operator"), &b, &opts));
+    });
+
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        git_sha: git_sha(),
+        threads: rayon::current_num_threads(),
+        seed: cfg.seed,
+        scale: cfg.scale,
+        quick: cfg.quick,
+        warmup: cfg.warmup,
+        rows: r.rows,
+    }
+}
+
+/// Short commit hash for the report file name: `GITHUB_SHA` when CI sets
+/// it, `git rev-parse` otherwise, `"local"` as the fallback.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if sha.len() >= 12 {
+            return sha[..12].to_string();
+        }
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    let out = std::process::Command::new("git").args(["rev-parse", "--short=12", "HEAD"]).output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "local".to_string(),
+    }
+}
+
+impl BenchRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("reps", Json::Int(self.reps as i128)),
+            ("median_s", Json::Float(self.median_s)),
+            ("p10_s", Json::Float(self.p10_s)),
+            ("p90_s", Json::Float(self.p90_s)),
+            ("mean_s", Json::Float(self.mean_s)),
+            ("min_s", Json::Float(self.min_s)),
+            ("max_s", Json::Float(self.max_s)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<BenchRow, String> {
+        let f = |key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("benchmark row: missing number '{key}'"))
+        };
+        Ok(BenchRow {
+            name: j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("benchmark row: missing 'name'")?
+                .to_string(),
+            reps: j.get("reps").and_then(Json::as_int).unwrap_or(0) as usize,
+            median_s: f("median_s")?,
+            p10_s: f("p10_s")?,
+            p90_s: f("p90_s")?,
+            mean_s: f("mean_s")?,
+            min_s: f("min_s")?,
+            max_s: f("max_s")?,
+        })
+    }
+}
+
+impl BenchReport {
+    /// The canonical artifact file name for this run.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.git_sha)
+    }
+
+    /// Serializes to the schema-versioned JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(self.schema.clone())),
+            ("git_sha", Json::Str(self.git_sha.clone())),
+            ("threads", Json::Int(self.threads as i128)),
+            ("seed", Json::Int(self.seed as i128)),
+            ("scale", Json::Float(self.scale)),
+            ("quick", Json::Bool(self.quick)),
+            ("warmup", Json::Int(self.warmup as i128)),
+            ("results", Json::Arr(self.rows.iter().map(BenchRow::to_json).collect())),
+        ])
+    }
+
+    /// Parses a report, rejecting unknown schema versions up front.
+    pub fn from_json(j: &Json) -> Result<BenchReport, String> {
+        let schema = j.get("schema").and_then(Json::as_str).ok_or("report: missing 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("report: schema '{schema}' is not '{SCHEMA}'"));
+        }
+        let rows = j
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("report: missing 'results' array")?
+            .iter()
+            .map(BenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            git_sha: j.get("git_sha").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+            threads: j.get("threads").and_then(Json::as_int).unwrap_or(0) as usize,
+            seed: j.get("seed").and_then(Json::as_int).unwrap_or(0) as u64,
+            scale: j.get("scale").and_then(Json::as_f64).unwrap_or(0.0),
+            quick: matches!(j.get("quick"), Some(Json::Bool(true))),
+            warmup: j.get("warmup").and_then(Json::as_int).unwrap_or(0) as usize,
+            rows,
+        })
+    }
+
+    /// Parses a report from JSON text.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        BenchReport::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Regression classification of one benchmark against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// ≥10 % faster than baseline.
+    Improved,
+    /// Within the warn threshold.
+    Ok,
+    /// Slower than the soft threshold ([`DEFAULT_WARN_PCT`]).
+    Warn,
+    /// Slower than the hard threshold ([`DEFAULT_FAIL_PCT`]); fails CI.
+    Fail,
+    /// Present only in the new run.
+    New,
+    /// Present only in the baseline.
+    Missing,
+}
+
+impl DiffStatus {
+    /// Fixed-width label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffStatus::Improved => "improved",
+            DiffStatus::Ok => "ok",
+            DiffStatus::Warn => "warn",
+            DiffStatus::Fail => "FAIL",
+            DiffStatus::New => "new",
+            DiffStatus::Missing => "missing",
+        }
+    }
+}
+
+/// One line of the regression table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    pub name: String,
+    pub base_median_s: Option<f64>,
+    pub new_median_s: Option<f64>,
+    /// Percent change of the median (positive = slower); `None` when the
+    /// benchmark exists on only one side.
+    pub delta_pct: Option<f64>,
+    pub status: DiffStatus,
+}
+
+/// Compares `new` against `base` by benchmark name. Rows follow the new
+/// run's order; baseline-only benchmarks are appended as `Missing`.
+/// Returns an error when the runs are not comparable (different schema
+/// already rejected at parse; here: quick vs full, or different scale).
+pub fn diff_reports(
+    base: &BenchReport,
+    new: &BenchReport,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Result<Vec<DiffRow>, String> {
+    if base.quick != new.quick || base.scale != new.scale {
+        return Err(format!(
+            "baseline (quick={}, scale={}) and new run (quick={}, scale={}) \
+             use different suite presets and cannot be compared",
+            base.quick, base.scale, new.quick, new.scale
+        ));
+    }
+    let mut rows = Vec::with_capacity(new.rows.len());
+    for n in &new.rows {
+        let b = base.rows.iter().find(|b| b.name == n.name);
+        match b {
+            Some(b) if b.median_s > 0.0 => {
+                let delta = (n.median_s / b.median_s - 1.0) * 100.0;
+                let status = if delta >= fail_pct {
+                    DiffStatus::Fail
+                } else if delta >= warn_pct {
+                    DiffStatus::Warn
+                } else if delta <= -10.0 {
+                    DiffStatus::Improved
+                } else {
+                    DiffStatus::Ok
+                };
+                rows.push(DiffRow {
+                    name: n.name.clone(),
+                    base_median_s: Some(b.median_s),
+                    new_median_s: Some(n.median_s),
+                    delta_pct: Some(delta),
+                    status,
+                });
+            }
+            _ => rows.push(DiffRow {
+                name: n.name.clone(),
+                base_median_s: b.map(|b| b.median_s),
+                new_median_s: Some(n.median_s),
+                delta_pct: None,
+                status: DiffStatus::New,
+            }),
+        }
+    }
+    for b in &base.rows {
+        if !new.rows.iter().any(|n| n.name == b.name) {
+            rows.push(DiffRow {
+                name: b.name.clone(),
+                base_median_s: Some(b.median_s),
+                new_median_s: None,
+                delta_pct: None,
+                status: DiffStatus::Missing,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the regression table as GitHub-flavored markdown (for
+/// `$GITHUB_STEP_SUMMARY`).
+pub fn markdown_table(rows: &[DiffRow]) -> String {
+    let mut out = String::from(
+        "| benchmark | baseline (ms) | current (ms) | delta | status |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    let ms = |v: Option<f64>| match v {
+        Some(s) => format!("{:.3}", s * 1e3),
+        None => "—".to_string(),
+    };
+    for r in rows {
+        let delta = match r.delta_pct {
+            Some(d) => format!("{d:+.1}%"),
+            None => "—".to_string(),
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            r.name,
+            ms(r.base_median_s),
+            ms(r.new_median_s),
+            delta,
+            r.status.label()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, median_s: f64) -> BenchRow {
+        BenchRow {
+            name: name.to_string(),
+            reps: 5,
+            median_s,
+            p10_s: median_s,
+            p90_s: median_s,
+            mean_s: median_s,
+            min_s: median_s,
+            max_s: median_s,
+        }
+    }
+
+    fn report(rows: Vec<BenchRow>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            git_sha: "abc123".to_string(),
+            threads: 1,
+            seed: 1,
+            scale: 0.03,
+            quick: true,
+            warmup: 1,
+            rows,
+        }
+    }
+
+    #[test]
+    fn summarize_percentiles() {
+        // 1..=9 ms: median 5, p10 = 1.8, p90 = 8.2 (linear interpolation).
+        let secs: Vec<f64> = (1..=9).map(|i| i as f64 * 1e-3).collect();
+        let s = summarize("t", secs);
+        assert!((s.median_s - 5e-3).abs() < 1e-12);
+        assert!((s.p10_s - 1.8e-3).abs() < 1e-12);
+        assert!((s.p90_s - 8.2e-3).abs() < 1e-12);
+        assert!((s.min_s - 1e-3).abs() < 1e-12);
+        assert!((s.max_s - 9e-3).abs() < 1e-12);
+        assert!((s.mean_s - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let rep =
+            report(vec![row("spmv/bro-ell/tesla-k20", 1.5e-3), row("encode/bro-coo/epb3", 2.0e-4)]);
+        let text = rep.to_json().to_pretty();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_schema() {
+        let mut j = report(vec![]).to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::Str("bro-bench/wallclock/v999".to_string());
+        }
+        let err = BenchReport::from_json(&j).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+    }
+
+    #[test]
+    fn diff_classifies_thresholds() {
+        let base = report(vec![
+            row("a", 1.00),
+            row("b", 1.00),
+            row("c", 1.00),
+            row("d", 1.00),
+            row("gone", 1.00),
+        ]);
+        let new = report(vec![
+            row("a", 1.05),    // +5%  → ok
+            row("b", 1.20),    // +20% → warn
+            row("c", 1.50),    // +50% → fail
+            row("d", 0.80),    // -20% → improved
+            row("fresh", 1.0), // new
+        ]);
+        let rows = diff_reports(&base, &new, DEFAULT_WARN_PCT, DEFAULT_FAIL_PCT).unwrap();
+        let status = |n: &str| rows.iter().find(|r| r.name == n).unwrap().status;
+        assert_eq!(status("a"), DiffStatus::Ok);
+        assert_eq!(status("b"), DiffStatus::Warn);
+        assert_eq!(status("c"), DiffStatus::Fail);
+        assert_eq!(status("d"), DiffStatus::Improved);
+        assert_eq!(status("fresh"), DiffStatus::New);
+        assert_eq!(status("gone"), DiffStatus::Missing);
+        let md = markdown_table(&rows);
+        assert!(md.contains("| `c` |") && md.contains("FAIL"), "{md}");
+    }
+
+    #[test]
+    fn diff_refuses_mixed_presets() {
+        let base = report(vec![row("a", 1.0)]);
+        let mut new = report(vec![row("a", 1.0)]);
+        new.quick = false;
+        assert!(diff_reports(&base, &new, 15.0, 40.0).is_err());
+    }
+
+    #[test]
+    fn quick_suite_smoke() {
+        // A truncated quick run exercises every benchmark family once.
+        let cfg = WallclockConfig { reps: 1, warmup: 0, ..WallclockConfig::quick() };
+        let rep = run_suite(&cfg);
+        assert_eq!(rep.schema, SCHEMA);
+        assert!(rep.rows.iter().any(|r| r.name.starts_with("encode/bro-ell/")));
+        assert!(rep.rows.iter().any(|r| r.name.starts_with("spmv/bro-coo/")));
+        assert!(rep.rows.iter().any(|r| r.name.starts_with("cluster/step/")));
+        assert!(rep.rows.iter().any(|r| r.name.starts_with("solver/cg-20it/")));
+        assert!(rep.rows.iter().all(|r| r.median_s >= 0.0 && r.min_s <= r.max_s));
+        // Filtered run keeps only matching names.
+        let cfg = WallclockConfig {
+            reps: 1,
+            warmup: 0,
+            filter: Some("encode/".to_string()),
+            ..WallclockConfig::quick()
+        };
+        let rep = run_suite(&cfg);
+        assert!(!rep.rows.is_empty());
+        assert!(rep.rows.iter().all(|r| r.name.starts_with("encode/")));
+    }
+}

@@ -23,6 +23,12 @@ use std::collections::HashSet;
 
 use bro_bitstream::bits_for;
 use bro_matrix::{CooMatrix, Permutation, Scalar};
+use rayon::prelude::*;
+
+/// Minimum candidate-set size before a row's cluster scoring fans out to
+/// the rayon pool. Below this the per-call parallel overhead outweighs the
+/// O(candidates · row_len) scoring work.
+const PAR_SCORE_MIN_CANDIDATES: usize = 64;
 
 /// Parameters of the Eqn. (1) objective.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,8 +145,11 @@ pub fn bar_order<T: Scalar>(a: &CooMatrix<T>, cfg: &BarConfig) -> (Permutation, 
     let v = m.div_ceil(h);
     let elems_per_line = (cfg.cacheline_bytes / cfg.val_bytes).max(1) as u32;
 
-    // Per-row delta bit widths and x cachelines.
+    // Per-row delta bit widths and x cachelines. Rows are independent, so
+    // the precompute fans out across the rayon pool; `collect` preserves
+    // row order, keeping the result identical to the serial loop.
     let rows_info: Vec<RowInfo> = (0..m)
+        .into_par_iter()
         .map(|r| {
             let (cols, _) = a.row(r as u32);
             let mut bits = Vec::with_capacity(cols.len());
@@ -169,24 +178,69 @@ pub fn bar_order<T: Scalar>(a: &CooMatrix<T>, cfg: &BarConfig) -> (Permutation, 
         }
     }
 
-    // Lines 7–13: greedy placement of the remaining rows.
+    // Lines 7–13: greedy placement of the remaining rows. Candidate
+    // scoring is read-only over the cluster state, so it fans out to the
+    // rayon pool for large candidate sets; the winner is the (cost, index)
+    // minimum, which matches the serial first-strictly-better scan exactly
+    // (ties break to the lowest cluster index).
+    //
+    // `alive` lists the non-full clusters in ascending index order. With
+    // `max_candidates: None` every alive cluster is scored (Algorithm 2 as
+    // published). With `Some(n)` only a cyclic window of `n` alive clusters
+    // (rotating one step per placed row) plus the previously chosen cluster
+    // is scored, bounding the cost at O(m·n·k).
+    let mut alive: Vec<usize> = (0..v).filter(|&t| clusters[t].rows.len() < h).collect();
+    let mut cursor = 0usize;
+    let mut prev_choice: Option<usize> = None;
+    let mut window = Vec::new();
     for &r in &sorted {
         if seeded[r as usize] {
             continue;
         }
         let info = &rows_info[r as usize];
-        let mut best: Option<(u64, usize)> = None;
-        for (t, cluster) in clusters.iter().enumerate() {
-            if cluster.rows.len() >= h {
-                continue;
+        let candidates: &[usize] = match cfg.max_candidates {
+            None => &alive,
+            Some(n) => {
+                window.clear();
+                if let Some(p) = prev_choice.filter(|&p| clusters[p].rows.len() < h) {
+                    window.push(p);
+                }
+                for i in 0..n.min(alive.len()) {
+                    let t = alive[(cursor + i) % alive.len()];
+                    if Some(t) != prev_choice {
+                        window.push(t);
+                    }
+                }
+                &window
             }
-            let cost = cluster.delta_cost(info, cfg.alpha_bits);
-            if best.is_none_or(|(bc, _)| cost < bc) {
-                best = Some((cost, t));
+        };
+        let best =
+            if candidates.len() >= PAR_SCORE_MIN_CANDIDATES && rayon::current_num_threads() > 1 {
+                candidates
+                    .to_vec()
+                    .into_par_iter()
+                    .map(|t| (clusters[t].delta_cost(info, cfg.alpha_bits), t))
+                    .collect()
+            } else {
+                candidates
+                    .iter()
+                    .map(|&t| (clusters[t].delta_cost(info, cfg.alpha_bits), t))
+                    .collect::<Vec<_>>()
+            };
+        let (_, t) = best.into_iter().min().expect("total cluster capacity v*h >= m");
+        clusters[t].insert(r, info);
+        prev_choice = Some(t);
+        if clusters[t].rows.len() >= h {
+            if let Ok(pos) = alive.binary_search(&t) {
+                alive.remove(pos);
+                if pos < cursor {
+                    cursor -= 1;
+                }
             }
         }
-        let (_, t) = best.expect("total cluster capacity v*h >= m");
-        clusters[t].insert(r, info);
+        if !alive.is_empty() {
+            cursor = (cursor + 1) % alive.len();
+        }
     }
 
     let scale = (h / cfg.warp_size.max(1)).max(1) as u64;
@@ -346,5 +400,40 @@ mod tests {
         let (p, phi) = bar_order(&a, &BarConfig::default());
         assert_eq!(p.len(), 0);
         assert_eq!(phi, 0);
+    }
+
+    #[test]
+    fn permutation_independent_of_thread_count() {
+        let spec = GeneratorSpec {
+            name: "mixed".into(),
+            rows: 700,
+            cols: 1 << 15,
+            row_lengths: RowLengthModel::Constant(9),
+            placement: PlacementModel::Blend { bandwidth: 48, banded_fraction: 0.5 },
+            seed: 23,
+        };
+        let a = spec.generate::<f64>();
+        // A small slice height gives > PAR_SCORE_MIN_CANDIDATES clusters so
+        // the parallel scoring path actually runs.
+        let cfg = BarConfig { slice_height: 4, ..BarConfig::default() };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| bar_order(&a, &cfg))
+        };
+        let (p1, phi1) = run(1);
+        let (p4, phi4) = run(4);
+        assert_eq!(phi1, phi4);
+        let order = |p: &Permutation| (0..p.len()).map(|i| p.old_index(i)).collect::<Vec<_>>();
+        assert_eq!(order(&p1), order(&p4));
+    }
+
+    #[test]
+    fn bounded_window_rotates_through_all_clusters() {
+        // With a window of 1 the cyclic cursor must still spread rows over
+        // every cluster instead of pinning them to one.
+        let a = bro_matrix::generate::laplacian_2d::<f64>(8); // 64 rows
+        let cfg = BarConfig { slice_height: 8, max_candidates: Some(1), ..small_cfg(8) };
+        let (p, _) = bar_order(&a, &cfg);
+        assert_eq!(p.len(), 64);
     }
 }

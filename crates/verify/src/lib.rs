@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod determinism;
 pub mod differential;
 pub mod formats;
 pub mod generators;
@@ -33,6 +34,7 @@ pub mod shrink;
 pub mod tolerance;
 
 pub use corpus::{load_dir, CorpusCase, CorpusError};
+pub use determinism::DeterminismReport;
 pub use differential::{
     fuzz, replay, run_case, Failure, FaultKind, FaultSpec, FuzzConfig, FuzzReport,
 };

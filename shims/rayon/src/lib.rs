@@ -14,9 +14,14 @@
 //!   `Vec<T>`) and [`IntoParallelRefMutIterator`] (for slices and `Vec<T>`),
 //! * `map`, `collect`, `for_each`, `enumerate` on the resulting iterators,
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] (the thread count
-//!   bounds the workers used inside `install`).
+//!   bounds the workers used inside `install`),
+//! * [`ThreadPoolBuilder::build_global`] / [`current_num_threads`] — the
+//!   process-global default worker count, which (unlike `install`, whose
+//!   override is thread-local) also bounds parallel work issued from inside
+//!   worker threads. CLI `--threads` flags go through this.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator};
@@ -26,11 +31,25 @@ std::thread_local! {
     static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
+/// Process-wide default worker count set by [`ThreadPoolBuilder::build_global`];
+/// 0 means "unset" (fall back to the machine's available parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 fn worker_threads() -> usize {
     POOL_THREADS
         .with(|c| c.get())
+        .or_else(|| match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        })
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
         .max(1)
+}
+
+/// The number of worker threads data-parallel calls on this thread would
+/// currently use (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    worker_threads()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -63,6 +82,17 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool { num_threads: self.num_threads })
+    }
+
+    /// Installs this builder's thread count as the process-global default,
+    /// mirroring `rayon::ThreadPoolBuilder::build_global`. A count of 0 (or
+    /// none) resets to the machine default. Unlike [`ThreadPool::install`]
+    /// the global default is visible from every thread, so it also bounds
+    /// nested data-parallel calls made inside worker threads — `--threads 1`
+    /// makes the whole process run serially.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -271,5 +301,27 @@ mod tests {
     fn empty_input() {
         let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn build_global_bounds_all_threads_and_install_overrides() {
+        // One test covers set / read / override / reset so parallel test
+        // threads never observe a half-configured global.
+        ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+        assert_eq!(current_num_threads(), 2);
+        // The global default is visible from freshly spawned threads
+        // (thread-local `install` state is not).
+        let seen = std::thread::spawn(current_num_threads).join().unwrap();
+        assert_eq!(seen, 2);
+        // A scoped install still takes precedence on its own thread.
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 5));
+        assert_eq!(current_num_threads(), 2);
+        // Work still completes correctly under the bound.
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+        // Reset to the machine default for the rest of the test binary.
+        ThreadPoolBuilder::new().build_global().unwrap();
+        assert!(current_num_threads() >= 1);
     }
 }

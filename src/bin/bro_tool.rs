@@ -10,19 +10,25 @@
 //! bro-tool solve     <matrix> [--solver S]       solve A x = b (b = A·1)
 //! bro-tool partition <matrix> [--devices N]      distributed SpMV on N GPUs
 //! bro-tool suite                                 list the Table-2 suite
-//! bro-tool verify    [--iters N]                 correctness harness
+//! bro-tool verify    [--iters N] [--seed S]      correctness harness
 //! ```
 //!
 //! `verify` runs the differential fuzzer (every format vs the CSR
-//! reference), replays the regression corpus, and checks the golden
-//! perf-model snapshots. `--inject-fault <format>:<kind>` corrupts one
-//! format on purpose to prove failures are caught and shrunk;
-//! `--update-golden` (or `UPDATE_GOLDEN=1`) refreshes the snapshots.
+//! reference), replays the regression corpus, checks the golden perf-model
+//! snapshots, and asserts thread-count determinism (`--threads 1` vs N).
+//! `--inject-fault <format>:<kind>` corrupts one format on purpose to
+//! prove failures are caught and shrunk; `--update-golden` (or
+//! `UPDATE_GOLDEN=1`) refreshes the snapshots. `--seed S` sets the fuzz
+//! base seed so CI campaigns replay exactly; the seed of any failing case
+//! is part of the failure report.
+//!
+//! Every subcommand accepts `--threads N` to bound the rayon worker pool
+//! (0 = all cores); `--threads 1` reproduces serial execution exactly.
 //!
 //! `<matrix>` is a `.mtx` MatrixMarket file or the name of a suite matrix
 //! (generated at `--scale`, default 0.1). `D` ∈ {c2070, gtx680, k20}.
 
-use bro_bench::cli::{die, flag_value, parse_flag};
+use bro_bench::cli::{die, effective_threads, flag_value, install_threads, parse_flag};
 use bro_spmv::core::{
     analyze_value_compression, write_bro_coo, write_bro_ell, BroCoo, BroCooConfig,
 };
@@ -45,6 +51,8 @@ struct Args {
     format: ClusterFormat,
     hetero: bool,
     iters: u64,
+    seed: u64,
+    threads: usize,
     inject_fault: Option<FaultSpec>,
     update_golden: bool,
     out_dir: std::path::PathBuf,
@@ -62,6 +70,8 @@ fn parse_args(raw: &[String]) -> Args {
         format: ClusterFormat::BroHyb,
         hetero: false,
         iters: 8,
+        seed: 1,
+        threads: 0,
         inject_fault: None,
         update_golden: false,
         out_dir: "out".into(),
@@ -105,6 +115,8 @@ fn parse_args(raw: &[String]) -> Args {
                     die("--iters must be at least 1");
                 }
             }
+            "--seed" => a.seed = parse_flag(&mut it, "--seed"),
+            "--threads" => a.threads = parse_flag(&mut it, "--threads"),
             "--inject-fault" => {
                 let v = flag_value(&mut it, "--inject-fault");
                 let Some((fmt, kind)) = v.split_once(':') else {
@@ -325,14 +337,18 @@ fn cmd_verify(a: &Args) {
 
     let t0 = std::time::Instant::now();
     let mut failed = false;
+    println!("verify: {} worker thread(s)", effective_threads());
 
-    // 1. Differential fuzzing: every format vs the CSR reference.
-    let config = FuzzConfig { iters: a.iters, fault: a.inject_fault, ..Default::default() };
+    // 1. Differential fuzzing: every format vs the CSR reference. The base
+    // seed is printed so any CI run can be replayed locally verbatim.
+    let config =
+        FuzzConfig { iters: a.iters, seed0: a.seed, fault: a.inject_fault, ..Default::default() };
     println!(
-        "differential: {} formats x {} families x {} seeds{}",
+        "differential: {} formats x {} families x {} seeds (base seed {}){}",
         config.formats.len(),
         config.families.len(),
         config.iters,
+        config.seed0,
         match a.inject_fault {
             Some(f) => format!(" (injecting {} into {})", f.kind.name(), f.format),
             None => String::new(),
@@ -406,6 +422,29 @@ fn cmd_verify(a: &Args) {
         }
     }
 
+    // 4. Thread-count determinism: parallel execution must be bit-identical
+    // to serial. Always compares at least 1 vs 2 workers, even under
+    // `--threads 1` — the sweep scopes its own pools.
+    let counts = [1usize, effective_threads().max(2)];
+    let det = verify::determinism::run(&counts, a.seed);
+    if det.is_clean() {
+        println!(
+            "determinism: {} comparisons identical across {:?} worker threads (seed {})",
+            det.checks, det.thread_counts, a.seed
+        );
+    } else {
+        failed = true;
+        eprintln!(
+            "determinism: {} of {} comparisons diverged (seed {}):",
+            det.mismatches.len(),
+            det.checks,
+            a.seed
+        );
+        for m in &det.mismatches {
+            eprintln!("  {m}");
+        }
+    }
+
     println!("verify finished in {:.1}s", t0.elapsed().as_secs_f64());
     if failed {
         std::process::exit(1);
@@ -421,6 +460,7 @@ fn main() {
         std::process::exit(2);
     };
     let args = parse_args(&raw[1..]);
+    install_threads(args.threads);
     match cmd.as_str() {
         "info" => cmd_info(&args),
         "compress" => cmd_compress(&args),
@@ -497,12 +537,23 @@ mod tests {
         .collect();
         let a = parse_args(&raw);
         assert_eq!(a.iters, 3);
+        assert_eq!(a.seed, 1);
+        assert_eq!(a.threads, 0);
         assert_eq!(
             a.inject_fault,
             Some(FaultSpec { format: FormatKind::BroEll, kind: FaultKind::DropLastEntry })
         );
         assert!(a.update_golden);
         assert_eq!(a.out_dir, std::path::PathBuf::from("tmp"));
+    }
+
+    #[test]
+    fn parse_args_seed_and_threads() {
+        let raw: Vec<String> =
+            ["--seed", "42", "--threads", "2"].iter().map(|s| s.to_string()).collect();
+        let a = parse_args(&raw);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.threads, 2);
     }
 
     #[test]
