@@ -42,6 +42,8 @@ bench options:
   --filter S       only benchmarks whose name contains S
   --out DIR        directory for the report file, default '.'
   --baseline FILE  also diff against a previous report (see diff options)
+  --trace-dir DIR  also capture one traced rep per benchmark family and
+                   write Chrome trace-event JSON files into DIR
 
 diff options (also apply to bench --baseline):
   --warn-pct F     soft-regression threshold in percent, default 15
@@ -93,6 +95,7 @@ fn cmd_bench(args: &[String]) {
     let mut threads = 0usize;
     let mut out = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut diff_opts = DiffOpts::new();
 
     let mut it = args.iter();
@@ -113,6 +116,7 @@ fn cmd_bench(args: &[String]) {
             "--filter" => filter = Some(flag_value(&mut it, "--filter").to_string()),
             "--out" => out = flag_value(&mut it, "--out").into(),
             "--baseline" => baseline = Some(flag_value(&mut it, "--baseline").into()),
+            "--trace-dir" => trace_dir = Some(flag_value(&mut it, "--trace-dir").into()),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return;
@@ -161,6 +165,15 @@ fn cmd_bench(args: &[String]) {
     std::fs::write(&path, text)
         .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
     eprintln!("bro-bench: wrote {} ({} benchmarks)", path.display(), report.rows.len());
+
+    // Traced reps run after the timed suite so tracing overhead can never
+    // leak into the report's medians.
+    if let Some(dir) = trace_dir {
+        eprintln!("bro-bench: capturing Chrome traces into {}", dir.display());
+        let files = bro_bench::traces::write_traces(&cfg, &dir)
+            .unwrap_or_else(|e| die(&format!("--trace-dir: {e}")));
+        eprintln!("bro-bench: wrote {} trace file(s)", files.len());
+    }
 
     if let Some(base_path) = baseline {
         let base = load_report(&base_path);

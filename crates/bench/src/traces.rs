@@ -1,0 +1,100 @@
+//! Chrome-trace capture for the wall-clock suite (`bro-bench bench
+//! --trace-dir`).
+//!
+//! One *traced* repetition of each representative benchmark family — the
+//! registry SpMV kernels, a 4-device cluster step, and a fixed-iteration
+//! CG solve — is re-run with an enabled [`Tracer`] and exported as one
+//! `<slug>.trace.json` per benchmark, loadable in Perfetto /
+//! `chrome://tracing`. Traced reps are never timed: tracing costs a mutex
+//! and allocations per span, so the measured medians in the report come
+//! exclusively from untraced runs.
+
+use std::path::{Path, PathBuf};
+
+use bro_gpu_cluster::ClusterSpmv;
+use bro_gpu_sim::{chrome_trace_json, DeviceProfile, DeviceSim, Tracer};
+use bro_matrix::generate::laplacian_2d;
+use bro_matrix::{suite, CsrMatrix};
+use bro_solvers::{cg_traced, CgOptions};
+use bro_verify::{input_vector, validate_chrome_trace, FormatKind};
+
+use crate::wallclock::{device_slug, WallclockConfig};
+
+/// Captures one traced repetition per representative benchmark and writes
+/// the Chrome traces into `dir` (created if missing). Every file is
+/// validated against the trace-event schema before it lands; the returned
+/// paths are in write order.
+pub fn write_traces(cfg: &WallclockConfig, dir: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+
+    let entry = suite::by_name("epb3").expect("epb3 is in the paper suite");
+    let coo = entry.spec(cfg.scale).generate();
+    let x = input_vector(coo.cols(), cfg.seed);
+    let device = DeviceProfile::tesla_k20();
+    let slug = device_slug(&device);
+
+    // Registry SpMV kernels, the same subset the quick suite times.
+    for fmt in [FormatKind::CsrVector, FormatKind::BroEll, FormatKind::BroHyb] {
+        let tracer = Tracer::enabled();
+        let mut sim = DeviceSim::builder(device.clone()).tracer(tracer.clone()).build();
+        fmt.prepare(&coo).run(&mut sim, &x);
+        written.push(export(&tracer, dir, &format!("spmv-{}-{slug}", fmt.name()))?);
+    }
+
+    // One 4-device cluster step: per-rank phase spans plus the model-time
+    // overlap lanes.
+    let csr = CsrMatrix::from_coo(&coo);
+    let cluster = ClusterSpmv::homogeneous(&csr, &device, 4);
+    let cluster_x = input_vector(csr.cols(), cfg.seed);
+    let tracer = Tracer::enabled();
+    cluster.spmv_traced(&cluster_x, &tracer);
+    written.push(export(&tracer, dir, &format!("cluster-step-4x-{slug}"))?);
+
+    // Fixed-iteration CG with per-iteration spans and the BRO-ELL kernel's
+    // launches nested below them.
+    let grid = if cfg.quick { 24 } else { 48 };
+    let lap = laplacian_2d::<f64>(grid);
+    let lap_csr = CsrMatrix::from_coo(&lap);
+    let b = input_vector(lap_csr.rows(), cfg.seed);
+    let tracer = Tracer::enabled();
+    let mut sim = DeviceSim::builder(device).tracer(tracer.clone()).build();
+    let prepared = FormatKind::BroEll.prepare(&lap);
+    let opts = CgOptions { max_iters: 20, tol: 1e-300 };
+    cg_traced(|v| prepared.run(&mut sim, v), &b, &opts, &tracer);
+    written.push(export(&tracer, dir, &format!("solver-cg-20it-laplacian-{grid}"))?);
+
+    Ok(written)
+}
+
+/// Serializes, schema-validates, and writes one tracer's spans.
+fn export(tracer: &Tracer, dir: &Path, slug: &str) -> Result<PathBuf, String> {
+    let spans = tracer.spans();
+    let json = chrome_trace_json(&spans);
+    let events = validate_chrome_trace(&json).map_err(|e| format!("{slug}: {e}"))?;
+    if events == 0 {
+        return Err(format!("{slug}: trace captured no spans"));
+    }
+    let path = dir.join(format!("{slug}.trace.json"));
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("  {:<40} {} spans", path.display(), spans.len());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_written_and_valid() {
+        let dir = std::env::temp_dir().join(format!("bro-bench-traces-{}", std::process::id()));
+        let cfg = WallclockConfig::quick();
+        let paths = write_traces(&cfg, &dir).expect("trace capture succeeds");
+        assert!(paths.len() >= 5, "spmv x3 + cluster + cg, got {}", paths.len());
+        for p in &paths {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(validate_chrome_trace(&text).unwrap() > 0, "{}", p.display());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -156,7 +156,7 @@ impl Runner<'_> {
 
 /// Lowercase-hyphen slug of a device's marketing name (`Tesla K20` →
 /// `tesla-k20`) for use inside benchmark identifiers.
-fn device_slug(profile: &DeviceProfile) -> String {
+pub(crate) fn device_slug(profile: &DeviceProfile) -> String {
     profile
         .name
         .chars()
@@ -212,9 +212,13 @@ pub fn run_suite(cfg: &WallclockConfig) -> BenchReport {
     for dev in &devices {
         let slug = device_slug(dev);
         for fmt in formats {
+            // Each rep pays the full registry path — build_from_coo plus the
+            // simulated kernel — matching what `FormatKind::run` always did,
+            // so medians stay comparable across the registry migration.
+            let kernel = fmt.kernel();
             let mut sim = DeviceSim::new(dev.clone());
             r.bench(format!("spmv/{}/{slug}", fmt.name()), || {
-                std::hint::black_box(fmt.run(&mut sim, spmv_coo, &x));
+                std::hint::black_box(kernel.build_from_coo(spmv_coo).run(&mut sim, &x));
             });
         }
     }

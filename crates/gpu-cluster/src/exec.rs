@@ -23,7 +23,7 @@
 //! functionally wrong kernel.
 
 use bro_core::{BroEll, BroEllConfig, BroHyb, BroHybConfig};
-use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport, LaunchStats};
+use bro_gpu_sim::{DeviceProfile, DeviceSim, KernelReport, LaunchStats, Tracer};
 use bro_kernels::{bro_ell_spmv, bro_hyb_spmv, coo_spmv, ell_spmv, hyb_spmv};
 use bro_matrix::scalar::assert_vec_approx_eq;
 use bro_matrix::{CooMatrix, CsrMatrix, EllMatrix, HybMatrix, Scalar};
@@ -220,6 +220,17 @@ impl<T: Scalar> ClusterSpmv<T> {
     /// Panics if `x` has the wrong length or the distributed product
     /// disagrees with the reference beyond `config.check_tol`.
     pub fn spmv(&self, x: &[T]) -> (Vec<T>, ClusterReport) {
+        self.spmv_traced(x, &Tracer::disabled())
+    }
+
+    /// [`spmv`](ClusterSpmv::spmv) with telemetry: every device's local and
+    /// remote phases run inside wall-clock spans on lane `rank + 1` (with
+    /// the kernels' individual launches nested below), and the perf model's
+    /// phase times are recorded as model-time spans — local kernel and halo
+    /// exchange starting together at t = 0, the remote kernel after
+    /// `max(t_local, t_exchange)` — so the comm/compute overlap the
+    /// schedule claims is visible on the timeline.
+    pub fn spmv_traced(&self, x: &[T], tracer: &Tracer) -> (Vec<T>, ClusterReport) {
         assert_eq!(x.len(), self.reference.cols(), "x length must match the matrix");
         let n = self.nodes.len();
 
@@ -228,10 +239,12 @@ impl<T: Scalar> ClusterSpmv<T> {
         let halos = self.plan.exchange(&owned);
 
         // Two-phase kernel on every device, one rayon task each.
+        let umbrella = tracer.begin(0, "cluster/spmv");
         let per_device: Vec<(Vec<T>, DeviceTiming)> = (0..n)
             .into_par_iter()
-            .map(|p| self.run_device(p, &self.nodes[p], &owned[p], &halos[p]))
+            .map(|p| self.run_device(p, &self.nodes[p], &owned[p], &halos[p], tracer))
             .collect();
+        tracer.end(umbrella);
 
         let mut y = Vec::with_capacity(self.reference.rows());
         let mut timings = Vec::with_capacity(n);
@@ -260,15 +273,20 @@ impl<T: Scalar> ClusterSpmv<T> {
         node: &ClusterNode<T>,
         x_owned: &[T],
         x_halo: &[T],
+        tracer: &Tracer,
     ) -> (Vec<T>, DeviceTiming) {
         let rows = node.part.rows.len();
         let local_nnz = node.part.local.nnz();
         let remote_nnz = node.part.remote.nnz();
+        let lane = rank as u32 + 1;
 
         // Local phase: overlaps the halo exchange.
-        let mut sim = DeviceSim::new(node.profile.clone());
+        let mut sim =
+            DeviceSim::builder(node.profile.clone()).tracer(tracer.clone()).lane(lane).build();
         let (mut y, local_report, t_local) = if local_nnz > 0 {
+            let span = sim.trace_begin("local-phase");
             let y = node.local.spmv(&mut sim, x_owned);
+            sim.trace_end(span);
             let r = KernelReport::from_device(&sim, 2 * local_nnz as u64, T::BYTES);
             let t = r.time_s;
             (y, r, t)
@@ -284,8 +302,10 @@ impl<T: Scalar> ClusterSpmv<T> {
 
         // Remote phase: starts after both the local kernel and the exchange.
         let (remote_report, t_remote) = if remote_nnz > 0 {
-            let mut rsim = DeviceSim::new(node.profile.clone());
+            let mut rsim = sim.sibling();
+            let span = rsim.trace_begin("remote-phase");
             let y_remote = node.remote.spmv(&mut rsim, x_halo);
+            rsim.trace_end(span);
             for (a, b) in y.iter_mut().zip(y_remote) {
                 *a += b;
             }
@@ -299,6 +319,33 @@ impl<T: Scalar> ClusterSpmv<T> {
 
         let t_exchange = self.config.link.exchange_time_s(&self.plan, rank, T::BYTES);
         let t_total = t_local.max(t_exchange) + t_remote;
+
+        // Model-time lanes: the local kernel and the halo exchange start
+        // together at t = 0 (the exchange is posted first, on its own link
+        // lane so the overlap is visible); the remote kernel waits for both.
+        if tracer.is_enabled() {
+            if t_local > 0.0 {
+                tracer.record_model_span(lane, "local-kernel", 0.0, t_local, None);
+            }
+            if t_exchange > 0.0 {
+                tracer.record_model_span(
+                    Tracer::LINK_LANE_OFFSET + lane,
+                    "halo-exchange",
+                    0.0,
+                    t_exchange,
+                    None,
+                );
+            }
+            if t_remote > 0.0 {
+                tracer.record_model_span(
+                    lane,
+                    "remote-kernel",
+                    t_local.max(t_exchange),
+                    t_remote,
+                    None,
+                );
+            }
+        }
         let nnz = local_nnz + remote_nnz;
         let send_bytes: u64 =
             (0..self.nodes.len()).map(|d| self.plan.pair_bytes(rank, d, T::BYTES)).sum();

@@ -39,6 +39,7 @@ pub mod exec;
 pub mod halo;
 pub mod interconnect;
 pub mod partition;
+pub mod registry;
 pub mod solve;
 pub mod stats;
 
@@ -46,5 +47,6 @@ pub use exec::{ClusterConfig, ClusterFormat, ClusterSpmv};
 pub use halo::HaloPlan;
 pub use interconnect::LinkProfile;
 pub use partition::{bandwidth_weights, DevicePartition, RowPartition};
+pub use registry::ClusterKernel;
 pub use solve::{cluster_cg, ClusterSolveReport};
 pub use stats::{ClusterReport, DeviceTiming};

@@ -18,31 +18,153 @@ use crate::buffer::{AddrSpace, BufferAddr, BASE_ADDR};
 use crate::cache::SetAssocCache;
 use crate::device::DeviceProfile;
 use crate::stats::{LaunchStats, StatsSnapshot};
+use crate::trace::{SpanId, Tracer};
 
 /// A simulated GPU device: a profile plus an address space and the
 /// accumulated statistics of every launch since the last [`DeviceSim::reset_stats`].
+///
+/// Besides the resettable accumulators the device keeps **lifetime**
+/// counters that only ever grow; the tracer reads those, so per-span deltas
+/// survive the `reset_stats()` every kernel performs on entry.
 #[derive(Debug)]
 pub struct DeviceSim {
     profile: DeviceProfile,
     addr_space: AddrSpace,
     accumulated: LaunchStats,
     launches: usize,
+    /// Monotonic totals since construction — never reset.
+    lifetime: LaunchStats,
+    lifetime_launches: usize,
+    tracer: Tracer,
+    /// Timeline lane for spans recorded by this device (0 = driver; cluster
+    /// devices use `rank + 1`).
+    lane: u32,
+    /// One-shot label consumed by the next [`launch`](DeviceSim::launch).
+    next_launch_label: Option<&'static str>,
 }
 
-impl DeviceSim {
-    /// Creates a device from a profile.
-    pub fn new(profile: DeviceProfile) -> Self {
-        DeviceSim {
-            profile,
+/// Configures and validates a [`DeviceSim`].
+///
+/// ```
+/// use bro_gpu_sim::{DeviceProfile, DeviceSim, Tracer};
+/// let sim = DeviceSim::builder(DeviceProfile::tesla_k20())
+///     .tracer(Tracer::disabled())
+///     .lane(0)
+///     .build();
+/// assert_eq!(sim.profile().name, "Tesla K20");
+/// ```
+#[derive(Debug)]
+pub struct DeviceSimBuilder {
+    profile: DeviceProfile,
+    tracer: Tracer,
+    lane: u32,
+}
+
+impl DeviceSimBuilder {
+    /// Attaches a tracer; spans from this device (and its
+    /// [siblings](DeviceSim::sibling)) land in its recording.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Timeline lane for this device's spans (default 0).
+    pub fn lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Overrides the texture-cache geometry (capacity, line size,
+    /// associativity) of the profile. `capacity_bytes = 0` disables the
+    /// cache (every access misses).
+    pub fn tex_cache(mut self, capacity_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
+        self.profile.tex_cache_bytes = capacity_bytes;
+        self.profile.tex_line_bytes = line_bytes;
+        self.profile.tex_assoc = assoc;
+        self
+    }
+
+    /// Validates the configuration and builds the device.
+    pub fn try_build(self) -> Result<DeviceSim, String> {
+        let p = &self.profile;
+        if p.sms == 0 {
+            return Err(format!("profile '{}': a device needs at least one SM", p.name));
+        }
+        if p.warp_size == 0 {
+            return Err(format!("profile '{}': warp size must be positive", p.name));
+        }
+        if p.txn_bytes == 0 || !p.txn_bytes.is_power_of_two() {
+            return Err(format!(
+                "profile '{}': memory transaction size {} must be a power of two",
+                p.name, p.txn_bytes
+            ));
+        }
+        if p.tex_line_bytes == 0 || !p.tex_line_bytes.is_power_of_two() {
+            return Err(format!(
+                "profile '{}': texture line size {} must be a power of two",
+                p.name, p.tex_line_bytes
+            ));
+        }
+        if p.tex_assoc == 0 {
+            return Err(format!("profile '{}': texture associativity must be positive", p.name));
+        }
+        Ok(DeviceSim {
+            profile: self.profile,
             addr_space: AddrSpace::new(),
             accumulated: LaunchStats::default(),
             launches: 0,
-        }
+            lifetime: LaunchStats::default(),
+            lifetime_launches: 0,
+            tracer: self.tracer,
+            lane: self.lane,
+            next_launch_label: None,
+        })
+    }
+
+    /// Builds the device, panicking on an invalid configuration.
+    pub fn build(self) -> DeviceSim {
+        self.try_build().unwrap_or_else(|e| panic!("invalid DeviceSim configuration: {e}"))
+    }
+}
+
+impl DeviceSim {
+    /// Starts configuring a device. [`new`](DeviceSim::new) is the
+    /// no-frills shortcut for the common untraced case.
+    pub fn builder(profile: DeviceProfile) -> DeviceSimBuilder {
+        DeviceSimBuilder { profile, tracer: Tracer::disabled(), lane: 0 }
+    }
+
+    /// Creates an untraced device from a profile — equivalent to
+    /// `DeviceSim::builder(profile).build()`.
+    pub fn new(profile: DeviceProfile) -> Self {
+        DeviceSim::builder(profile).build()
+    }
+
+    /// A fresh device with the same profile, tracer, and lane but its own
+    /// address space and statistics. Composite kernels (HYB = ELL + COO)
+    /// run their secondary part on a sibling and
+    /// [`absorb`](DeviceSim::absorb) it, so sibling launches still show up
+    /// in the parent's trace, nested under the parent's open span.
+    pub fn sibling(&self) -> DeviceSim {
+        let mut sim = DeviceSim::new(self.profile.clone());
+        sim.tracer = self.tracer.clone();
+        sim.lane = self.lane;
+        sim
     }
 
     /// The device profile.
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
+    }
+
+    /// The tracer attached to this device (possibly disabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// This device's timeline lane.
+    pub fn lane(&self) -> u32 {
+        self.lane
     }
 
     /// Allocates a simulated device buffer for a host slice.
@@ -60,6 +182,7 @@ impl DeviceSim {
     /// per launch, not per block.
     pub fn charge_constant(&mut self, bytes: u64) {
         self.accumulated.const_bytes += bytes;
+        self.lifetime.const_bytes += bytes;
     }
 
     /// Statistics accumulated since construction or the last reset.
@@ -98,6 +221,39 @@ impl DeviceSim {
     pub fn absorb_snapshot(&mut self, snap: &StatsSnapshot) {
         self.accumulated.merge(&snap.stats);
         self.launches += snap.launches;
+        self.lifetime.merge(&snap.stats);
+        self.lifetime_launches += snap.launches;
+    }
+
+    /// Monotonic counter totals since construction. Unlike
+    /// [`stats`](DeviceSim::stats) these survive
+    /// [`reset_stats`](DeviceSim::reset_stats), which is what makes per-span
+    /// deltas well-defined: kernels reset the accumulators on entry, but a
+    /// span brackets two readings of the lifetime totals.
+    pub fn lifetime_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { stats: self.lifetime.clone(), launches: self.lifetime_launches }
+    }
+
+    /// Opens a span on this device's lane, capturing the lifetime counters
+    /// as the baseline; [`trace_end`](DeviceSim::trace_end) attributes the
+    /// growth since then to the span. No-op (cheap) when tracing is off.
+    pub fn trace_begin(&self, name: &str) -> SpanId {
+        let baseline = self.tracer.is_enabled().then(|| self.lifetime_snapshot());
+        self.tracer.begin_with_baseline(self.lane, name, baseline)
+    }
+
+    /// Closes a span opened with [`trace_begin`](DeviceSim::trace_begin).
+    pub fn trace_end(&self, span: SpanId) {
+        if self.tracer.is_enabled() {
+            self.tracer.end_with_stats(span, &self.lifetime_snapshot());
+        }
+    }
+
+    /// Names the next [`launch`](DeviceSim::launch)'s auto-recorded span
+    /// (one-shot). Kernels use this to label their phases, e.g.
+    /// `"bro-coo/carry"`.
+    pub fn label_next_launch(&mut self, label: &'static str) {
+        self.next_launch_label = Some(label);
     }
 
     /// Merges the accumulated statistics and launch count of another device
@@ -116,6 +272,8 @@ impl DeviceSim {
         F: Fn(usize, &mut BlockCtx) -> O + Sync,
     {
         assert!(threads_per_block > 0, "empty thread blocks are not allowed");
+        let label = self.next_launch_label.take().unwrap_or("launch");
+        let span = self.tracer.is_enabled().then(|| self.tracer.begin(self.lane, label));
         let sms = self.profile.sms;
         let warp = self.profile.warp_size;
         let warps_per_block = threads_per_block.div_ceil(warp) as u64;
@@ -158,11 +316,20 @@ impl DeviceSim {
             .collect();
 
         let mut outputs: Vec<(usize, O)> = Vec::with_capacity(blocks);
+        let mut launch_total = LaunchStats::default();
         for (outs, stats) in per_sm.iter_mut() {
             outputs.append(outs);
-            self.accumulated.merge(stats);
+            launch_total.merge(stats);
         }
+        self.accumulated.merge(&launch_total);
+        self.lifetime.merge(&launch_total);
         self.launches += 1;
+        self.lifetime_launches += 1;
+        if let Some(span) = span {
+            // The auto-span's delta is exactly this launch's merged totals;
+            // it nests under whatever span the instrumenting code had open.
+            self.tracer.end_with_stats(span, &StatsSnapshot { stats: launch_total, launches: 1 });
+        }
         outputs.sort_by_key(|&(b, _)| b);
         outputs.into_iter().map(|(_, o)| o).collect()
     }
@@ -605,5 +772,122 @@ mod tests {
         s.charge_constant(512);
         assert_eq!(s.stats().const_bytes, 512);
         assert_eq!(s.stats().dram_bytes(), 512);
+    }
+
+    #[test]
+    fn builder_validates_profiles() {
+        // Every shipped profile builds.
+        for p in DeviceProfile::evaluation_set() {
+            assert!(DeviceSim::builder(p).try_build().is_ok());
+        }
+        let mut bad = DeviceProfile::tesla_c2070();
+        bad.sms = 0;
+        assert!(DeviceSim::builder(bad).try_build().unwrap_err().contains("SM"));
+        let mut bad = DeviceProfile::tesla_c2070();
+        bad.txn_bytes = 100; // not a power of two
+        assert!(DeviceSim::builder(bad).try_build().is_err());
+        // The cache override is validated too.
+        let err = DeviceSim::builder(DeviceProfile::tesla_c2070())
+            .tex_cache(4096, 48, 4)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("line size"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DeviceSim configuration")]
+    fn builder_build_panics_on_invalid() {
+        let mut bad = DeviceProfile::tesla_c2070();
+        bad.warp_size = 0;
+        DeviceSim::builder(bad).build();
+    }
+
+    #[test]
+    fn builder_cache_override_applies() {
+        let s = DeviceSim::builder(DeviceProfile::tesla_c2070()).tex_cache(0, 32, 1).build();
+        assert_eq!(s.profile().tex_cache_bytes, 0);
+        assert_eq!(s.profile().tex_assoc, 1);
+    }
+
+    #[test]
+    fn lifetime_counters_survive_reset() {
+        let mut s = sim();
+        s.launch(1, 32, |_, ctx| ctx.flops(5));
+        s.reset_stats();
+        s.launch(1, 32, |_, ctx| ctx.flops(2));
+        assert_eq!(s.stats().flops, 2);
+        let life = s.lifetime_snapshot();
+        assert_eq!(life.stats.flops, 7);
+        assert_eq!(life.launches, 2);
+    }
+
+    #[test]
+    fn trace_spans_carry_exact_deltas_across_resets() {
+        let tracer = Tracer::enabled();
+        let mut s = DeviceSim::builder(DeviceProfile::tesla_c2070()).tracer(tracer.clone()).build();
+        let span = s.trace_begin("spmv/fake");
+        s.reset_stats(); // what every kernel does on entry
+        s.launch(2, 32, |_, ctx| ctx.flops(3));
+        s.trace_end(span);
+        let spans = tracer.spans();
+        // The launch auto-span nests under the wrapper; the wrapper is root.
+        let root = spans.iter().find(|sp| sp.name == "spmv/fake").unwrap();
+        let launch = spans.iter().find(|sp| sp.name == "launch").unwrap();
+        assert!(root.is_root());
+        assert_eq!(launch.parent, Some(root.id));
+        assert_eq!(root.delta.as_ref().unwrap().stats.flops, 6);
+        assert_eq!(launch.delta.as_ref().unwrap().stats.flops, 6);
+        assert_eq!(root.delta.as_ref().unwrap().launches, 1);
+    }
+
+    #[test]
+    fn launch_labels_are_one_shot() {
+        let tracer = Tracer::enabled();
+        let mut s = DeviceSim::builder(DeviceProfile::tesla_c2070()).tracer(tracer.clone()).build();
+        s.label_next_launch("phase-a");
+        s.launch(1, 32, |_, _| ());
+        s.launch(1, 32, |_, _| ());
+        let names: Vec<String> = tracer.spans().into_iter().map(|sp| sp.name).collect();
+        assert_eq!(names, vec!["phase-a".to_string(), "launch".to_string()]);
+    }
+
+    #[test]
+    fn sibling_shares_tracer_and_lane() {
+        let tracer = Tracer::enabled();
+        let s =
+            DeviceSim::builder(DeviceProfile::tesla_c2070()).tracer(tracer.clone()).lane(3).build();
+        let mut sib = s.sibling();
+        assert_eq!(sib.lane(), 3);
+        assert!(sib.tracer().is_enabled());
+        sib.launch(1, 32, |_, ctx| ctx.int_ops(1));
+        assert_eq!(tracer.spans().len(), 1);
+        assert_eq!(tracer.spans()[0].lane, 3);
+    }
+
+    #[test]
+    fn stats_identical_with_and_without_tracer() {
+        let run = |tracer: Tracer| {
+            let mut s = DeviceSim::builder(DeviceProfile::tesla_c2070()).tracer(tracer).build();
+            let span = s.trace_begin("wrapped");
+            s.launch(7, 64, |b, ctx| {
+                let addrs: Vec<u64> = (0..32).map(|i| (b as u64 * 7 + i) * 8 % 2048).collect();
+                ctx.global_read(&addrs, 8);
+                ctx.tex_read(&addrs);
+                ctx.flops(b as u64);
+            });
+            s.trace_end(span);
+            s.snapshot()
+        };
+        assert_eq!(run(Tracer::disabled()), run(Tracer::enabled()));
+    }
+
+    #[test]
+    fn absorb_feeds_lifetime_counters() {
+        let mut a = sim();
+        a.launch(1, 32, |_, ctx| ctx.flops(4));
+        let mut b = sim();
+        b.absorb(&a);
+        assert_eq!(b.lifetime_snapshot().stats.flops, 4);
+        assert_eq!(b.lifetime_snapshot().launches, 1);
     }
 }

@@ -27,14 +27,20 @@
 
 pub mod buffer;
 pub mod cache;
+pub mod chrome;
 pub mod device;
 pub mod exec;
+pub mod metrics;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 
 pub use buffer::{AddrSpace, BufferAddr, BASE_ADDR};
 pub use cache::SetAssocCache;
+pub use chrome::chrome_trace_json;
 pub use device::DeviceProfile;
-pub use exec::{BlockCtx, DeviceSim};
+pub use exec::{BlockCtx, DeviceSim, DeviceSimBuilder};
+pub use metrics::{Metric, MetricsRegistry};
 pub use stats::{LaunchStats, StatsSnapshot};
 pub use timing::KernelReport;
+pub use trace::{SpanId, SpanRecord, Tracer};

@@ -65,6 +65,34 @@ impl LaunchStats {
         self.blocks_launched += other.blocks_launched;
     }
 
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    /// The tracer uses this to attribute a span's delta from two readings
+    /// of a device's monotonic lifetime counters.
+    pub fn diff(&self, earlier: &LaunchStats) -> LaunchStats {
+        LaunchStats {
+            global_load_instrs: self.global_load_instrs.saturating_sub(earlier.global_load_instrs),
+            global_read_txns: self.global_read_txns.saturating_sub(earlier.global_read_txns),
+            global_read_bytes: self.global_read_bytes.saturating_sub(earlier.global_read_bytes),
+            global_store_instrs: self
+                .global_store_instrs
+                .saturating_sub(earlier.global_store_instrs),
+            global_write_txns: self.global_write_txns.saturating_sub(earlier.global_write_txns),
+            global_write_bytes: self.global_write_bytes.saturating_sub(earlier.global_write_bytes),
+            atomic_txns: self.atomic_txns.saturating_sub(earlier.atomic_txns),
+            atomic_bytes: self.atomic_bytes.saturating_sub(earlier.atomic_bytes),
+            tex_accesses: self.tex_accesses.saturating_sub(earlier.tex_accesses),
+            tex_hits: self.tex_hits.saturating_sub(earlier.tex_hits),
+            tex_misses: self.tex_misses.saturating_sub(earlier.tex_misses),
+            tex_fill_bytes: self.tex_fill_bytes.saturating_sub(earlier.tex_fill_bytes),
+            const_bytes: self.const_bytes.saturating_sub(earlier.const_bytes),
+            flops: self.flops.saturating_sub(earlier.flops),
+            int_ops: self.int_ops.saturating_sub(earlier.int_ops),
+            warp_ops: self.warp_ops.saturating_sub(earlier.warp_ops),
+            warps_launched: self.warps_launched.saturating_sub(earlier.warps_launched),
+            blocks_launched: self.blocks_launched.saturating_sub(earlier.blocks_launched),
+        }
+    }
+
     /// Total DRAM traffic in bytes: coalesced global reads and writes,
     /// atomics, texture misses, plus the (small) constant working set.
     pub fn dram_bytes(&self) -> u64 {
@@ -105,6 +133,15 @@ impl StatsSnapshot {
     pub fn merge(&mut self, other: &StatsSnapshot) {
         self.stats.merge(&other.stats);
         self.launches += other.launches;
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), launches
+    /// included.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            stats: self.stats.diff(&earlier.stats),
+            launches: self.launches.saturating_sub(earlier.launches),
+        }
     }
 
     /// Sums a sequence of snapshots into one aggregate.
@@ -207,6 +244,23 @@ mod tests {
         assert_eq!(total.stats.flops, 10);
         assert_eq!(total.launches, 4);
         assert_eq!(StatsSnapshot::merged([]), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn diff_is_merge_inverse_and_saturates() {
+        let base = LaunchStats { flops: 10, global_read_bytes: 128, ..Default::default() };
+        let mut total = base.clone();
+        let step = LaunchStats { flops: 7, int_ops: 2, ..Default::default() };
+        total.merge(&step);
+        assert_eq!(total.diff(&base), step);
+        // Saturation: diffing against a *larger* reading clamps to zero
+        // instead of wrapping.
+        assert_eq!(base.diff(&total).flops, 0);
+        let snap_base = StatsSnapshot { stats: base, launches: 2 };
+        let snap_total = StatsSnapshot { stats: total, launches: 5 };
+        let d = snap_total.diff(&snap_base);
+        assert_eq!(d.stats.flops, 7);
+        assert_eq!(d.launches, 3);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Launch-level span tracing.
+//!
+//! A [`Tracer`] records a tree of timed spans — kernel-registry `run()`
+//! wrappers at the root, individual launches and phases nested below — plus
+//! the [`StatsSnapshot`] counter *delta* attributed to each span. The tracer
+//! is a cheap handle: cloning shares the same recording, and the disabled
+//! tracer is a `None` that short-circuits every call, so instrumented code
+//! pays one branch when tracing is off.
+//!
+//! Two timelines coexist in one recording:
+//!
+//! * **wall-clock spans** — real host time, measured from the tracer's
+//!   creation instant. Lanes (`lane`) separate concurrent actors: lane 0 is
+//!   the driver, cluster devices use `rank + 1`.
+//! * **model-time spans** — the perf model's *simulated* seconds, recorded
+//!   explicitly by timing-aware code (the cluster's local / exchange /
+//!   remote phases). They live on a separate clock so comm/compute overlap
+//!   is visible even though the host simulates the phases sequentially.
+//!
+//! Exporters ([`crate::chrome`], [`crate::metrics`]) consume the flat
+//! [`SpanRecord`] list via [`Tracer::spans`].
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::stats::StatsSnapshot;
+
+/// Identifies an open span; returned by [`Tracer::begin`] and redeemed by
+/// [`Tracer::end`]. Copyable so callers can stash it across a kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId {
+    id: u64,
+    lane: u32,
+}
+
+impl SpanId {
+    /// The lane this span was opened on.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+}
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the recording.
+    pub id: u64,
+    /// Id of the enclosing span on the same lane, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"spmv/bro-ell"` or `"launch/bro-ell"`.
+    pub name: String,
+    /// Timeline lane (Chrome `tid`): 0 = driver, cluster ranks use rank + 1.
+    pub lane: u32,
+    /// Start timestamp in microseconds (wall clock since the tracer was
+    /// created, or model time for [`model_time`](Self::model_time) spans).
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Counter delta attributed to this span, when the instrumented code
+    /// provided one.
+    pub delta: Option<StatsSnapshot>,
+    /// True when the timestamps are simulated (perf-model) time rather than
+    /// host wall clock.
+    pub model_time: bool,
+}
+
+/// A span that has been opened but not yet closed.
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_us: f64,
+    /// Counter baseline captured at `begin` by [`DeviceSim::trace_begin`]
+    /// (lifetime totals); the delta is computed at `end`.
+    baseline: Option<StatsSnapshot>,
+}
+
+#[derive(Default)]
+struct State {
+    next_id: u64,
+    /// Per-lane stacks of open spans: `open[i]` belongs to `lanes[i]`.
+    lanes: Vec<u32>,
+    open: Vec<Vec<OpenSpan>>,
+    spans: Vec<SpanRecord>,
+}
+
+impl State {
+    fn lane_stack(&mut self, lane: u32) -> &mut Vec<OpenSpan> {
+        match self.lanes.iter().position(|&l| l == lane) {
+            Some(i) => &mut self.open[i],
+            None => {
+                self.lanes.push(lane);
+                self.open.push(Vec::new());
+                self.open.last_mut().unwrap()
+            }
+        }
+    }
+}
+
+struct Shared {
+    t0: Instant,
+    state: Mutex<State>,
+}
+
+/// Handle to a (possibly disabled) span recording. See the module docs.
+#[derive(Clone)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            None => write!(f, "Tracer(disabled)"),
+            Some(s) => {
+                let state = s.state.lock().unwrap();
+                write!(f, "Tracer({} spans recorded)", state.spans.len())
+            }
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// Lane-number offset for interconnect ("link") lanes: a device on lane
+    /// `r + 1` posts its halo exchange on lane `LINK_LANE_OFFSET + r + 1`,
+    /// so overlapping compute and communication render side by side instead
+    /// of stacking on one lane.
+    pub const LINK_LANE_OFFSET: u32 = 100;
+
+    /// An active tracer that records spans.
+    pub fn enabled() -> Self {
+        Tracer {
+            shared: Some(Arc::new(Shared {
+                t0: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every call short-circuits on a `None` check.
+    pub fn disabled() -> Self {
+        Tracer { shared: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    fn now_us(shared: &Shared) -> f64 {
+        shared.t0.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Opens a span on `lane`, nested under the lane's currently open span.
+    /// Returns a dummy id when disabled.
+    pub fn begin(&self, lane: u32, name: &str) -> SpanId {
+        self.begin_with_baseline(lane, name, None)
+    }
+
+    /// Opens a span carrying a counter baseline; [`end`](Self::end) with a
+    /// current snapshot turns the pair into a delta. Used by
+    /// `DeviceSim::trace_begin`.
+    pub fn begin_with_baseline(
+        &self,
+        lane: u32,
+        name: &str,
+        baseline: Option<StatsSnapshot>,
+    ) -> SpanId {
+        let Some(shared) = &self.shared else {
+            return SpanId { id: 0, lane };
+        };
+        let start_us = Self::now_us(shared);
+        let mut state = shared.state.lock().unwrap();
+        state.next_id += 1;
+        let id = state.next_id;
+        let stack = state.lane_stack(lane);
+        let parent = stack.last().map(|s| s.id);
+        stack.push(OpenSpan { id, parent, name: name.to_string(), start_us, baseline });
+        SpanId { id, lane }
+    }
+
+    /// Closes the span (which must be the top of its lane's stack) with no
+    /// counter delta.
+    pub fn end(&self, span: SpanId) {
+        self.finish(span, |_| None);
+    }
+
+    /// Closes the span, attributing `now` minus the baseline captured at
+    /// `begin` (or `now` itself when no baseline was captured).
+    pub fn end_with_stats(&self, span: SpanId, now: &StatsSnapshot) {
+        self.finish(span, |baseline| {
+            Some(match baseline {
+                Some(base) => now.diff(base),
+                None => now.clone(),
+            })
+        });
+    }
+
+    fn finish(
+        &self,
+        span: SpanId,
+        delta: impl FnOnce(Option<&StatsSnapshot>) -> Option<StatsSnapshot>,
+    ) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let end_us = Self::now_us(shared);
+        let mut state = shared.state.lock().unwrap();
+        let stack = state.lane_stack(span.lane);
+        let open = stack.pop().unwrap_or_else(|| {
+            panic!("span {} ended on lane {} with an empty stack", span.id, span.lane)
+        });
+        assert_eq!(
+            open.id, span.id,
+            "span {} ended out of order on lane {} (top of stack is {} '{}')",
+            span.id, span.lane, open.id, open.name
+        );
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            lane: span.lane,
+            start_us: open.start_us,
+            dur_us: (end_us - open.start_us).max(0.0),
+            delta: delta(open.baseline.as_ref()),
+            model_time: false,
+        };
+        state.spans.push(record);
+    }
+
+    /// Records an already-measured span on the **model** (simulated-seconds)
+    /// timeline. `start_s`/`dur_s` are perf-model seconds relative to the
+    /// start of the operation being modelled; they are stored in µs like
+    /// wall-clock spans but rendered on a separate Chrome process.
+    pub fn record_model_span(
+        &self,
+        lane: u32,
+        name: &str,
+        start_s: f64,
+        dur_s: f64,
+        delta: Option<StatsSnapshot>,
+    ) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let mut state = shared.state.lock().unwrap();
+        state.next_id += 1;
+        let id = state.next_id;
+        state.spans.push(SpanRecord {
+            id,
+            parent: None,
+            name: name.to_string(),
+            lane,
+            start_us: start_s * 1e6,
+            dur_us: dur_s * 1e6,
+            delta,
+            model_time: true,
+        });
+    }
+
+    /// Number of spans still open across all lanes (0 once every `begin`
+    /// has been matched by an `end`).
+    pub fn open_spans(&self) -> usize {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.state.lock().unwrap().open.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// A copy of every finished span, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.state.lock().unwrap().spans.clone(),
+        }
+    }
+}
+
+impl SpanRecord {
+    /// True for spans with no recorded parent — the unit of counter
+    /// reconciliation: root-span deltas partition the device totals.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LaunchStats;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let s = t.begin(0, "a");
+        t.end(s);
+        assert!(!t.is_enabled());
+        assert!(t.spans().is_empty());
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn spans_nest_on_a_lane() {
+        let t = Tracer::enabled();
+        let outer = t.begin(0, "outer");
+        let inner = t.begin(0, "inner");
+        t.end(inner);
+        t.end(outer);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        // Completion order: inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].name, "outer");
+        assert!(spans[1].is_root());
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let t = Tracer::enabled();
+        let a = t.begin(1, "a");
+        let b = t.begin(2, "b");
+        // Closing in the "wrong" global order is fine — stacks are per lane.
+        t.end(a);
+        t.end(b);
+        let spans = t.spans();
+        assert!(spans.iter().all(|s| s.is_root()));
+        assert_eq!(spans.iter().map(|s| s.lane).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_end_panics() {
+        let t = Tracer::enabled();
+        let outer = t.begin(0, "outer");
+        let _inner = t.begin(0, "inner");
+        t.end(outer);
+    }
+
+    #[test]
+    fn baseline_turns_into_delta() {
+        let t = Tracer::enabled();
+        let base =
+            StatsSnapshot { stats: LaunchStats { flops: 10, ..Default::default() }, launches: 1 };
+        let now = StatsSnapshot {
+            stats: LaunchStats { flops: 25, int_ops: 3, ..Default::default() },
+            launches: 3,
+        };
+        let s = t.begin_with_baseline(0, "k", Some(base));
+        t.end_with_stats(s, &now);
+        let spans = t.spans();
+        let delta = spans[0].delta.as_ref().unwrap();
+        assert_eq!(delta.stats.flops, 15);
+        assert_eq!(delta.stats.int_ops, 3);
+        assert_eq!(delta.launches, 2);
+    }
+
+    #[test]
+    fn model_spans_are_flagged() {
+        let t = Tracer::enabled();
+        t.record_model_span(1, "local", 0.0, 0.5e-3, None);
+        let spans = t.spans();
+        assert!(spans[0].model_time);
+        assert_eq!(spans[0].dur_us, 500.0);
+    }
+
+    #[test]
+    fn durations_are_nonnegative_and_ordered() {
+        let t = Tracer::enabled();
+        let a = t.begin(0, "a");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.end(a);
+        let spans = t.spans();
+        assert!(spans[0].dur_us > 0.0);
+        assert!(spans[0].start_us >= 0.0);
+    }
+}

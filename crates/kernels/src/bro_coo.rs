@@ -55,6 +55,7 @@ pub fn bro_coo_spmv<T: Scalar, W: Symbol>(
     let cols_arr = bro.col_indices();
     let vals_arr = bro.values();
 
+    sim.label_next_launch("bro-coo/intervals");
     #[allow(clippy::type_complexity)]
     let per_block: Vec<(Vec<(u32, T)>, Vec<(u32, T)>)> =
         sim.launch(blocks, warps_per_block * warp, |b, ctx| {
@@ -173,6 +174,7 @@ pub fn bro_coo_spmv<T: Scalar, W: Symbol>(
     // Second kernel: fold carries with atomics.
     let carries_ref = &all_carries;
     let warp_copy = sim.profile().warp_size;
+    sim.label_next_launch("bro-coo/carry");
     sim.launch(all_carries.len().div_ceil(BLOCK_SIZE).max(1), BLOCK_SIZE, |b, ctx| {
         let start = b * BLOCK_SIZE;
         let end = (start + BLOCK_SIZE).min(carries_ref.len());

@@ -107,6 +107,7 @@ pub fn bro_ell_spmv<T: Scalar, W: Symbol>(
     sim.charge_constant(bro.metadata_bytes() as u64);
 
     let warp = sim.profile().warp_size;
+    sim.label_next_launch("bro-ell/slices");
     let chunks = sim.launch(bro.slices().len(), h, |b, ctx| {
         let slice = &bro.slices()[b];
         run_slice(ctx, slice, stream_bufs[b], val_bufs[b], x_buf, y_buf, b * h, warp, x)

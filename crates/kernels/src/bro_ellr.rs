@@ -41,6 +41,7 @@ pub fn bro_ellr_spmv<T: Scalar, W: Symbol>(
     sim.charge_constant(bro.metadata_bytes() as u64);
 
     let warp = sim.profile().warp_size;
+    sim.label_next_launch("bro-ellr/slices");
     let chunks = sim.launch(bro.slices().len(), h, |b, ctx| {
         let slice = &bro.slices()[b];
         let row0 = b * h;

@@ -21,7 +21,7 @@ pub fn bro_hyb_spmv<T: Scalar, W: Symbol>(
         y = vec![T::ZERO; bro.rows()];
     }
     if bro.coo().nnz() > 0 {
-        let mut coo_sim = DeviceSim::new(sim.profile().clone());
+        let mut coo_sim = sim.sibling();
         let y_coo = bro_coo_spmv(&mut coo_sim, bro.coo(), x);
         sim.absorb_snapshot(&coo_sim.snapshot());
         for (a, b) in y.iter_mut().zip(y_coo) {

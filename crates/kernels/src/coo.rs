@@ -59,6 +59,7 @@ pub fn coo_spmv_with<T: Scalar>(
     let vals_arr = coo.values();
 
     // Main kernel: per-warp segmented products.
+    sim.label_next_launch("coo/intervals");
     #[allow(clippy::type_complexity)]
     let per_block: Vec<(Vec<(u32, T)>, Vec<(u32, T)>)> =
         sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
@@ -153,6 +154,7 @@ pub fn coo_spmv_with<T: Scalar>(
     // Second kernel: fold carries into y with atomics.
     let carries_ref = &all_carries;
     let warp_copy = warp;
+    sim.label_next_launch("coo/carry");
     sim.launch(all_carries.len().div_ceil(BLOCK_SIZE).max(1), BLOCK_SIZE, |b, ctx| {
         let start = b * BLOCK_SIZE;
         let end = (start + BLOCK_SIZE).min(carries_ref.len());

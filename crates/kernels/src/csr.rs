@@ -34,6 +34,7 @@ pub fn csr_scalar_spmv<T: Scalar>(sim: &mut DeviceSim, csr: &CsrMatrix<T>, x: &[
 
     let warp = sim.profile().warp_size;
     let blocks = m.div_ceil(BLOCK_SIZE);
+    sim.label_next_launch("csr-scalar/rows");
     let chunks = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * BLOCK_SIZE;
         let height = (m - row0).min(BLOCK_SIZE);
@@ -113,6 +114,7 @@ pub fn csr_vector_spmv<T: Scalar>(sim: &mut DeviceSim, csr: &CsrMatrix<T>, x: &[
     let warp = sim.profile().warp_size;
     let warps_per_block = BLOCK_SIZE / warp;
     let blocks = m.div_ceil(warps_per_block);
+    sim.label_next_launch("csr-vector/rows");
     let chunks = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * warps_per_block;
         let height = (m - row0).min(warps_per_block);

@@ -32,6 +32,7 @@ pub fn ellr_spmv<T: Scalar>(sim: &mut DeviceSim, ellr: &EllRMatrix<T>, x: &[T]) 
     let lengths = ellr.row_lengths();
     let warp = sim.profile().warp_size;
     let blocks = m.div_ceil(BLOCK_SIZE);
+    sim.label_next_launch("ellr/rows");
     let chunks = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * BLOCK_SIZE;
         let height = (m - row0).min(BLOCK_SIZE);

@@ -16,8 +16,8 @@ pub fn hyb_spmv<T: Scalar>(sim: &mut DeviceSim, hyb: &HybMatrix<T>, x: &[T]) -> 
     let mut y = ell_spmv(sim, hyb.ell(), x);
     if hyb.coo().nnz() > 0 {
         // Run the COO part on a sibling device so the ELL statistics are not
-        // reset, then merge: same profile, fresh address space.
-        let mut coo_sim = DeviceSim::new(sim.profile().clone());
+        // reset, then merge: same profile (and tracer), fresh address space.
+        let mut coo_sim = sim.sibling();
         let y_coo = coo_spmv_with(&mut coo_sim, hyb.coo(), x, crate::coo::DEFAULT_INTERVAL);
         sim.absorb_snapshot(&coo_sim.snapshot());
         for (a, b) in y.iter_mut().zip(y_coo) {

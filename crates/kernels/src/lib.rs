@@ -38,6 +38,7 @@ pub mod ellr;
 pub mod hyb;
 pub mod multirow;
 pub mod reference;
+pub mod registry;
 pub mod sliced_ell;
 pub mod spmm;
 pub mod tune;
@@ -53,6 +54,7 @@ pub use ell::ell_spmv;
 pub use ellr::ellr_spmv;
 pub use hyb::hyb_spmv;
 pub use multirow::bro_ell_multirow_spmv;
+pub use registry::{PreparedSpmv, SpmvKernel};
 pub use sliced_ell::sliced_ell_spmv;
 pub use spmm::{bro_ell_spmm, ell_spmm};
 pub use tune::{recommend_format, FormatChoice, TuneReport};

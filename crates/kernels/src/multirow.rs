@@ -68,6 +68,7 @@ pub fn reduce_subrows<T: Scalar>(
     let y_buf = sim.alloc(rows, T::BYTES);
     let warp = sim.profile().warp_size;
     let blocks = rows.div_ceil(BLOCK_SIZE);
+    sim.label_next_launch("multirow/reduce");
     let chunks = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * BLOCK_SIZE;
         let height = (rows - row0).min(BLOCK_SIZE);

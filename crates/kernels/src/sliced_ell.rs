@@ -27,6 +27,7 @@ pub fn sliced_ell_spmv<T: Scalar>(sim: &mut DeviceSim, se: &SlicedEllMatrix<T>, 
     sim.charge_constant(se.slices().len() as u64 * 4);
 
     let warp = sim.profile().warp_size;
+    sim.label_next_launch("sliced-ell/slices");
     let chunks = sim.launch(se.slices().len(), h, |b, ctx| {
         let slice = &se.slices()[b];
         let row0 = b * h;

@@ -42,6 +42,7 @@ pub fn ell_spmm<T: Scalar>(sim: &mut DeviceSim, ell: &EllMatrix<T>, xs: &[Vec<T>
 
     let warp = sim.profile().warp_size;
     let blocks = m.div_ceil(BLOCK_SIZE);
+    sim.label_next_launch("ell-spmm/rows");
     let chunks: Vec<Vec<Vec<T>>> = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * BLOCK_SIZE;
         let height = (m - row0).min(BLOCK_SIZE);
@@ -131,6 +132,7 @@ pub fn bro_ell_spmm<T: Scalar, W: Symbol>(
     sim.charge_constant(bro.metadata_bytes() as u64);
 
     let warp = sim.profile().warp_size;
+    sim.label_next_launch("bro-ell-spmm/slices");
     let chunks: Vec<Vec<Vec<T>>> = sim.launch(bro.slices().len(), h, |b, ctx| {
         let slice = &bro.slices()[b];
         let row0 = b * h;

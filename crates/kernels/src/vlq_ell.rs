@@ -41,6 +41,7 @@ pub fn vlq_ell_spmv<T: Scalar>(sim: &mut DeviceSim, vlq: &VlqEll<T>, x: &[T]) ->
 
     let warp = sim.profile().warp_size;
     let blocks = m.div_ceil(BLOCK_SIZE);
+    sim.label_next_launch("vlq-ell/rows");
     let chunks = sim.launch(blocks, BLOCK_SIZE, |b, ctx| {
         let row0 = b * BLOCK_SIZE;
         let height = (m - row0).min(BLOCK_SIZE);

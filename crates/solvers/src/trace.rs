@@ -1,0 +1,123 @@
+//! Traced solver variants: one span per iteration.
+//!
+//! The solvers are operator-generic, so their natural instrumentation point
+//! is the operator itself — every `A·v` application is one Krylov iteration
+//! (CG and BiCGSTAB apply `A` once per iteration; in GMRES each Arnoldi
+//! step is an application, matching `SolveStats::iterations` up to the
+//! per-restart residual evaluation). Each `*_traced` function wraps the
+//! operator in a `<solver>/iteration` span on the driver lane; when the
+//! operator runs a kernel on a traced [`bro_gpu_sim::DeviceSim`], the
+//! kernel's own spans nest inside the iteration span, giving the full
+//! launch → phase breakdown per iteration.
+
+use bro_gpu_sim::Tracer;
+use bro_matrix::Scalar;
+
+use crate::bicgstab::{bicgstab, BiCgStabOptions};
+use crate::cg::{cg, CgOptions};
+use crate::gmres::{gmres, GmresOptions};
+use crate::SolveStats;
+
+/// Wraps an operator so every application records a span.
+fn traced_operator<'a, T: Scalar>(
+    tracer: &'a Tracer,
+    name: &'static str,
+    mut apply_a: impl FnMut(&[T]) -> Vec<T> + 'a,
+) -> impl FnMut(&[T]) -> Vec<T> + 'a {
+    move |v: &[T]| {
+        let span = tracer.begin(0, name);
+        let y = apply_a(v);
+        tracer.end(span);
+        y
+    }
+}
+
+/// [`cg`] with one `cg/iteration` span per operator application.
+pub fn cg_traced<T: Scalar>(
+    apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &CgOptions,
+    tracer: &Tracer,
+) -> (Vec<T>, SolveStats) {
+    cg(traced_operator(tracer, "cg/iteration", apply_a), b, opts)
+}
+
+/// [`bicgstab`] with one `bicgstab/iteration` span per operator application
+/// (BiCGSTAB applies `A` twice per iteration — once for the search
+/// direction, once for the stabilizer — so expect two spans per iteration).
+pub fn bicgstab_traced<T: Scalar>(
+    apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &BiCgStabOptions,
+    tracer: &Tracer,
+) -> (Vec<T>, SolveStats) {
+    bicgstab(traced_operator(tracer, "bicgstab/iteration", apply_a), b, opts)
+}
+
+/// [`gmres`] with one `gmres/iteration` span per operator application.
+pub fn gmres_traced<T: Scalar>(
+    apply_a: impl FnMut(&[T]) -> Vec<T>,
+    b: &[T],
+    opts: &GmresOptions,
+    tracer: &Tracer,
+) -> (Vec<T>, SolveStats) {
+    gmres(traced_operator(tracer, "gmres/iteration", apply_a), b, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bro_matrix::generate::laplacian_2d;
+    use bro_matrix::CsrMatrix;
+
+    fn system() -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = CsrMatrix::from_coo(&laplacian_2d::<f64>(8));
+        let b = vec![1.0; a.rows()];
+        (a, b)
+    }
+
+    #[test]
+    fn cg_traced_matches_untraced_and_counts_iterations() {
+        let (a, b) = system();
+        let opts = CgOptions { max_iters: 50, tol: 1e-10 };
+        let (x_plain, stats_plain) = cg(|v| a.spmv(v).unwrap(), &b, &opts);
+        let tracer = Tracer::enabled();
+        let (x_traced, stats_traced) = cg_traced(|v| a.spmv(v).unwrap(), &b, &opts, &tracer);
+        assert_eq!(x_plain, x_traced);
+        assert_eq!(stats_plain, stats_traced);
+        let spans = tracer.spans();
+        assert!(spans.iter().all(|s| s.name == "cg/iteration"));
+        // One operator application per CG iteration.
+        assert_eq!(spans.len(), stats_traced.iterations);
+        assert_eq!(tracer.open_spans(), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let (a, b) = system();
+        let opts = CgOptions { max_iters: 20, tol: 1e-10 };
+        let tracer = Tracer::disabled();
+        let (x, _) = cg_traced(|v| a.spmv(v).unwrap(), &b, &opts, &tracer);
+        assert!(!x.is_empty());
+        assert!(tracer.spans().is_empty());
+    }
+
+    #[test]
+    fn bicgstab_and_gmres_emit_iteration_spans() {
+        let (a, b) = system();
+        let tracer = Tracer::enabled();
+        let (_, stats) = bicgstab_traced(
+            |v| a.spmv(v).unwrap(),
+            &b,
+            &BiCgStabOptions { max_iters: 30, tol: 1e-10 },
+            &tracer,
+        );
+        let n_bicg = tracer.spans().iter().filter(|s| s.name == "bicgstab/iteration").count();
+        assert!(n_bicg >= stats.iterations, "two applications per BiCGSTAB iteration");
+
+        let (_, stats) =
+            gmres_traced(|v| a.spmv(v).unwrap(), &b, &GmresOptions::default(), &tracer);
+        let n_gmres = tracer.spans().iter().filter(|s| s.name == "gmres/iteration").count();
+        assert!(n_gmres >= stats.iterations);
+    }
+}

@@ -1,20 +1,19 @@
 //! Registry of every SpMV path under differential test.
 //!
-//! Each [`FormatKind`] knows how to build its storage format from a COO
-//! matrix and run the corresponding simulated kernel, so the fuzzer, the
-//! golden suite, and the CLI all iterate one list. Adding a kernel to
-//! `bro-kernels` without registering it here fails the
+//! [`FormatKind`] is the unified format list: the 14 single-device kernels
+//! come from `bro_kernels::registry` (the [`SpmvKernel`] trait), and the
+//! distributed kernel is spliced in from `bro_gpu_cluster::ClusterKernel`
+//! — this crate sits above both, so it is the one place the full list can
+//! exist. The fuzzer, the golden suite, and the CLIs all iterate it.
+//! Adding a kernel to `bro-kernels` without registering it here fails the
 //! `registry_covers_every_exported_kernel` test below.
 
-use bro_core::{BroCoo, BroCooConfig, BroEll, BroEllConfig, BroEllR, BroHyb, BroHybConfig, VlqEll};
-use bro_gpu_cluster::{ClusterConfig, ClusterFormat, ClusterSpmv};
-use bro_gpu_sim::{DeviceProfile, DeviceSim};
-use bro_kernels::{
-    bro_coo_spmv, bro_ell_multirow_spmv, bro_ell_spmm, bro_ell_spmv, bro_ellr_spmv, bro_hyb_spmv,
-    coo_spmv, csr_scalar_spmv, csr_vector_spmv, ell_spmv, ellr_spmv, hyb_spmv, sliced_ell_spmv,
-    vlq_ell_spmv,
-};
-use bro_matrix::{CooMatrix, CsrMatrix, EllMatrix, EllRMatrix, HybMatrix, SlicedEllMatrix};
+use std::sync::OnceLock;
+
+use bro_gpu_cluster::ClusterKernel;
+use bro_gpu_sim::DeviceSim;
+use bro_kernels::registry::{self, PreparedSpmv, SpmvKernel};
+use bro_matrix::CooMatrix;
 
 /// One SpMV implementation under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,50 +117,32 @@ impl FormatKind {
         FormatKind::all().iter().copied().find(|f| f.name() == name)
     }
 
-    /// Computes `y = A·x` through this format on a fresh simulated device,
-    /// leaving the device's statistics covering exactly this run.
-    pub fn run(&self, sim: &mut DeviceSim, a: &CooMatrix<f64>, x: &[f64]) -> Vec<f64> {
+    /// The [`SpmvKernel`] implementing this format: a
+    /// `bro_kernels::registry` entry for every single-device kernel, the
+    /// `ClusterKernel` (paper's 3-device evaluation set, BRO-HYB
+    /// partitions) for [`FormatKind::Cluster`].
+    pub fn kernel(&self) -> &'static dyn SpmvKernel {
         match self {
-            FormatKind::Ell => ell_spmv(sim, &EllMatrix::from_coo(a), x),
-            FormatKind::EllR => ellr_spmv(sim, &EllRMatrix::from_coo(a), x),
-            FormatKind::SlicedEll => sliced_ell_spmv(sim, &SlicedEllMatrix::from_coo(a, 32), x),
-            FormatKind::Hyb => hyb_spmv(sim, &HybMatrix::from_coo(a), x),
-            FormatKind::Coo => coo_spmv(sim, a, x),
-            FormatKind::CsrScalar => csr_scalar_spmv(sim, &CsrMatrix::from_coo(a), x),
-            FormatKind::CsrVector => csr_vector_spmv(sim, &CsrMatrix::from_coo(a), x),
-            FormatKind::BroEll => {
-                let bro: BroEll<f64> = BroEll::from_coo(a, &BroEllConfig::default());
-                bro_ell_spmv(sim, &bro, x)
-            }
-            FormatKind::BroEllR => {
-                let bro: BroEllR<f64> = BroEllR::from_coo(a, &BroEllConfig::default());
-                bro_ellr_spmv(sim, &bro, x)
-            }
-            FormatKind::BroCoo => {
-                let bro: BroCoo<f64> = BroCoo::compress(a, &BroCooConfig::default());
-                bro_coo_spmv(sim, &bro, x)
-            }
-            FormatKind::BroHyb => {
-                let bro: BroHyb<f64> = BroHyb::from_coo(a, &BroHybConfig::default());
-                bro_hyb_spmv(sim, &bro, x)
-            }
-            FormatKind::VlqEll => vlq_ell_spmv(sim, &VlqEll::from_coo(a), x),
-            FormatKind::Multirow => bro_ell_multirow_spmv(sim, a, x, 2, &BroEllConfig::default()),
-            FormatKind::Spmm => {
-                let bro: BroEll<f64> = BroEll::from_coo(a, &BroEllConfig::default());
-                let ys = bro_ell_spmm(sim, &bro, std::slice::from_ref(&x.to_vec()));
-                ys.into_iter().next().unwrap_or_default()
-            }
             FormatKind::Cluster => {
-                let csr = CsrMatrix::from_coo(a);
-                let cluster = ClusterSpmv::build(
-                    &csr,
-                    &DeviceProfile::evaluation_set(),
-                    ClusterConfig { format: ClusterFormat::BroHyb, ..Default::default() },
-                );
-                cluster.spmv(x).0
+                static CLUSTER: OnceLock<ClusterKernel> = OnceLock::new();
+                CLUSTER.get_or_init(ClusterKernel::evaluation_set)
             }
+            other => registry::by_name(other.name())
+                .unwrap_or_else(|| panic!("kernel registry is missing '{}'", other.name())),
         }
+    }
+
+    /// Compresses `a` into this format, ready for repeated multiplication.
+    pub fn prepare(&self, a: &CooMatrix<f64>) -> PreparedSpmv {
+        self.kernel().build_from_coo(a)
+    }
+
+    /// Computes `y = A·x` through this format on the given simulated
+    /// device, leaving the device's statistics covering exactly this run
+    /// (the cluster runs on its own per-rank devices and leaves `sim`
+    /// untouched).
+    pub fn run(&self, sim: &mut DeviceSim, a: &CooMatrix<f64>, x: &[f64]) -> Vec<f64> {
+        self.prepare(a).run(sim, x)
     }
 }
 
@@ -204,5 +185,23 @@ mod tests {
     fn registry_covers_every_exported_kernel() {
         assert_eq!(FormatKind::all().len(), 15);
         assert_eq!(FormatKind::golden_set().len(), 12);
+        // The kernel registry holds every format except the cluster (which
+        // lives in bro-gpu-cluster to avoid a dependency cycle).
+        assert_eq!(bro_kernels::registry::all().len(), FormatKind::all().len() - 1);
+    }
+
+    #[test]
+    fn kernel_names_agree_with_format_names() {
+        for &f in FormatKind::all() {
+            assert_eq!(f.kernel().name(), f.name());
+        }
+        // And the reverse direction: every registry kernel has a FormatKind.
+        for &k in bro_kernels::registry::all() {
+            assert!(
+                FormatKind::by_name(k.name()).is_some(),
+                "registry kernel '{}' has no FormatKind",
+                k.name()
+            );
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod golden;
 pub mod json;
 pub mod shrink;
 pub mod tolerance;
+pub mod trace_check;
 
 pub use corpus::{load_dir, CorpusCase, CorpusError};
 pub use determinism::DeterminismReport;
@@ -44,3 +45,4 @@ pub use golden::{golden_dir, update_requested, GoldenOutcome};
 pub use json::Json;
 pub use shrink::{shrink, Shrunk};
 pub use tolerance::{compare, ulp_diff, Mismatch, Tolerance};
+pub use trace_check::validate_chrome_trace;

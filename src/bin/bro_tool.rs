@@ -11,7 +11,18 @@
 //! bro-tool partition <matrix> [--devices N]      distributed SpMV on N GPUs
 //! bro-tool suite                                 list the Table-2 suite
 //! bro-tool verify    [--iters N] [--seed S]      correctness harness
+//! bro-tool trace     <matrix> [--format F]       traced SpMV → Chrome JSON
 //! ```
+//!
+//! `trace` runs one SpMV with launch-level telemetry enabled and writes a
+//! Chrome trace-event file (`--out`, default `trace.json`; load it in
+//! Perfetto or `chrome://tracing`). `--format` accepts any registry kernel
+//! (`ell`, `bro-hyb`, `csr-vector`, …) or `cluster` for a distributed run
+//! honoring `--devices`/`--link`/`--hetero`. The command prints the
+//! aggregated metrics table, schema-validates the exported JSON, and
+//! reconciles the per-span counter deltas against the device's lifetime
+//! `LaunchStats` totals — exiting non-zero if a single byte or flop is
+//! unaccounted for.
 //!
 //! `verify` runs the differential fuzzer (every format vs the CSR
 //! reference), replays the regression corpus, checks the golden perf-model
@@ -33,7 +44,7 @@ use bro_spmv::core::{
     analyze_value_compression, write_bro_coo, write_bro_ell, BroCoo, BroCooConfig,
 };
 use bro_spmv::gpu_cluster::{ClusterConfig, ClusterFormat, ClusterSpmv, LinkProfile};
-use bro_spmv::gpu_sim::KernelReport;
+use bro_spmv::gpu_sim::{chrome_trace_json, KernelReport, MetricsRegistry, StatsSnapshot, Tracer};
 use bro_spmv::kernels::recommend_format;
 use bro_spmv::matrix::{io::read_matrix_market_file, suite};
 use bro_spmv::prelude::*;
@@ -48,7 +59,7 @@ struct Args {
     solver: String,
     devices: usize,
     link: LinkProfile,
-    format: ClusterFormat,
+    format: String,
     hetero: bool,
     iters: u64,
     seed: u64,
@@ -56,6 +67,7 @@ struct Args {
     inject_fault: Option<FaultSpec>,
     update_golden: bool,
     out_dir: std::path::PathBuf,
+    out_set: bool,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -67,7 +79,7 @@ fn parse_args(raw: &[String]) -> Args {
         solver: "cg".into(),
         devices: 4,
         link: LinkProfile::pcie_gen2(),
-        format: ClusterFormat::BroHyb,
+        format: "bro-hyb".into(),
         hetero: false,
         iters: 8,
         seed: 1,
@@ -75,6 +87,7 @@ fn parse_args(raw: &[String]) -> Args {
         inject_fault: None,
         update_golden: false,
         out_dir: "out".into(),
+        out_set: false,
     };
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
@@ -102,12 +115,9 @@ fn parse_args(raw: &[String]) -> Args {
                     die(&format!("unknown link '{l}' (pcie-gen2|pcie-gen3|nvlink)"))
                 });
             }
-            "--format" => {
-                let f = flag_value(&mut it, "--format");
-                a.format = ClusterFormat::by_name(f).unwrap_or_else(|| {
-                    die(&format!("unknown format '{f}' (bro-hyb|hyb|bro-ell|ell|coo)"))
-                });
-            }
+            // Stored raw: `partition` wants a ClusterFormat, `trace` any
+            // FormatKind — each subcommand resolves (and rejects) itself.
+            "--format" => a.format = flag_value(&mut it, "--format").to_ascii_lowercase(),
             "--hetero" => a.hetero = true,
             "--iters" => {
                 a.iters = parse_flag(&mut it, "--iters");
@@ -130,7 +140,10 @@ fn parse_args(raw: &[String]) -> Args {
                 a.inject_fault = Some(FaultSpec { format, kind });
             }
             "--update-golden" => a.update_golden = true,
-            "--out" => a.out_dir = flag_value(&mut it, "--out").into(),
+            "--out" => {
+                a.out_dir = flag_value(&mut it, "--out").into();
+                a.out_set = true;
+            }
             other => a.positional.push(other.to_string()),
         }
     }
@@ -258,19 +271,30 @@ fn cmd_solve(a: &Args) {
     }
 }
 
-fn cmd_partition(a: &Args) {
-    let name = a.positional.first().unwrap_or_else(|| die("partition needs a matrix"));
-    let m = load_matrix(name, a.scale);
-    let csr = CsrMatrix::from_coo(&m);
-    // Homogeneous clusters replicate --device; --hetero cycles the three
-    // evaluation GPUs, exercising the bandwidth-weighted partitioner.
-    let profiles: Vec<DeviceProfile> = if a.hetero {
+/// Homogeneous clusters replicate `--device`; `--hetero` cycles the three
+/// evaluation GPUs, exercising the bandwidth-weighted partitioner.
+fn cluster_profiles(a: &Args) -> Vec<DeviceProfile> {
+    if a.hetero {
         let pool = DeviceProfile::evaluation_set();
         (0..a.devices).map(|i| pool[i % pool.len()].clone()).collect()
     } else {
         vec![a.device.clone(); a.devices]
-    };
-    let config = ClusterConfig { link: a.link.clone(), format: a.format, ..Default::default() };
+    }
+}
+
+fn cluster_format(a: &Args) -> ClusterFormat {
+    ClusterFormat::by_name(&a.format).unwrap_or_else(|| {
+        die(&format!("unknown cluster format '{}' (bro-hyb|hyb|bro-ell|ell|coo)", a.format))
+    })
+}
+
+fn cmd_partition(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("partition needs a matrix"));
+    let m = load_matrix(name, a.scale);
+    let csr = CsrMatrix::from_coo(&m);
+    let profiles = cluster_profiles(a);
+    let format = cluster_format(a);
+    let config = ClusterConfig { link: a.link.clone(), format, ..Default::default() };
     let cluster = ClusterSpmv::build(&csr, &profiles, config);
 
     println!(
@@ -278,7 +302,7 @@ fn cmd_partition(a: &Args) {
         csr.rows(),
         csr.nnz(),
         a.devices,
-        a.format,
+        format,
         a.link
     );
     println!(
@@ -451,7 +475,86 @@ fn cmd_verify(a: &Args) {
     }
 }
 
-const USAGE: &str = "usage: bro-tool <info|compress|spmv|recommend|solve|partition|suite|verify> …";
+/// Runs one SpMV with telemetry enabled, exports the Chrome trace, prints
+/// the metrics table, and reconciles per-span counter deltas against the
+/// simulator's lifetime totals. A reconciliation mismatch exits non-zero:
+/// the trace must attribute every counted byte and flop to exactly one
+/// root span.
+fn cmd_trace(a: &Args) {
+    let name = a.positional.first().unwrap_or_else(|| die("trace needs a matrix"));
+    let fmt = FormatKind::by_name(&a.format).unwrap_or_else(|| {
+        let names: Vec<&str> = FormatKind::all().iter().map(|f| f.name()).collect();
+        die(&format!("unknown format '{}' ({})", a.format, names.join("|")))
+    });
+    let m = load_matrix(name, a.scale);
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 8) as f64 * 0.25).collect();
+    let reference = csr_spmv(&CsrMatrix::from_coo(&m), &x);
+
+    let tracer = Tracer::enabled();
+    let t0 = std::time::Instant::now();
+    // Lifetime totals are accumulated independently of the tracer, so the
+    // reconciliation below compares two genuinely separate bookkeepers.
+    let (y, totals) = if fmt == FormatKind::Cluster {
+        let csr = CsrMatrix::from_coo(&m);
+        let config = ClusterConfig { link: a.link.clone(), ..Default::default() };
+        let cluster = ClusterSpmv::build(&csr, &cluster_profiles(a), config);
+        let (y, report) = cluster.spmv_traced(&x, &tracer);
+        let totals = StatsSnapshot::merged(report.devices.iter().map(|d| &d.snapshot));
+        (y, totals)
+    } else {
+        let mut sim = DeviceSim::builder(a.device.clone()).tracer(tracer.clone()).build();
+        let y = fmt.prepare(&m).run(&mut sim, &x);
+        (y, sim.lifetime_snapshot())
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+    let max_err = y.iter().zip(&reference).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+
+    let spans = tracer.spans();
+    assert_eq!(tracer.open_spans(), 0, "all spans closed after the run");
+    println!(
+        "{name}: format {fmt}, {} span(s) in {:.1} ms (max |diff| vs CPU = {max_err:.2e})",
+        spans.len(),
+        elapsed * 1e3
+    );
+    println!("{}", MetricsRegistry::from_spans(&spans));
+
+    let json = chrome_trace_json(&spans);
+    let events = bro_spmv::verify::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| die(&format!("exported trace failed schema validation: {e}")));
+    let out = if a.out_set { a.out_dir.clone() } else { "trace.json".into() };
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| die(&format!("creating {}: {e}", parent.display())));
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {}: {e}", out.display())));
+    println!("wrote {} ({} trace events)", out.display(), events);
+
+    // Sum the counter deltas over root spans (nested spans re-count their
+    // parents' work, so only roots partition the totals).
+    let mut root_sum = StatsSnapshot::default();
+    for s in spans.iter().filter(|s| s.is_root()) {
+        if let Some(d) = &s.delta {
+            root_sum.merge(d);
+        }
+    }
+    if root_sum == totals {
+        println!(
+            "reconciliation: root-span deltas == lifetime totals \
+             ({} B DRAM, {} flops, {} launch(es))",
+            totals.stats.dram_bytes(),
+            totals.stats.flops,
+            totals.launches
+        );
+    } else {
+        eprintln!("reconciliation FAILED:");
+        eprintln!("  root-span delta sum: {:?}", root_sum);
+        eprintln!("  lifetime totals:     {:?}", totals);
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str =
+    "usage: bro-tool <info|compress|spmv|recommend|solve|partition|suite|verify|trace> …";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -470,6 +573,7 @@ fn main() {
         "partition" => cmd_partition(&args),
         "suite" => cmd_suite(),
         "verify" => cmd_verify(&args),
+        "trace" => cmd_trace(&args),
         "-h" | "--help" => eprintln!("{USAGE}"),
         other => die(&format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -488,8 +592,9 @@ mod tests {
         assert_eq!(a.solver, "cg");
         assert_eq!(a.devices, 4);
         assert_eq!(a.link.name, "PCIe-gen2");
-        assert_eq!(a.format, ClusterFormat::BroHyb);
+        assert_eq!(a.format, "bro-hyb");
         assert!(!a.hetero);
+        assert!(!a.out_set);
     }
 
     #[test]
@@ -502,7 +607,7 @@ mod tests {
         let a = parse_args(&raw);
         assert_eq!(a.devices, 8);
         assert_eq!(a.link.name, "NVLink");
-        assert_eq!(a.format, ClusterFormat::Ell);
+        assert_eq!(a.format, "ell");
         assert!(a.hetero);
     }
 
